@@ -1,0 +1,232 @@
+//! Dinic's algorithm for exact maximum s–t flow on undirected capacitated
+//! graphs.
+//!
+//! Undirected edges are modelled as two anti-parallel residual arcs, each
+//! with the full edge capacity; the net flow over the pair is the signed flow
+//! on the original undirected edge. This is the exact-optimum oracle the
+//! experiments (E2) compare the `(1+ε)`-approximation against.
+
+use flowgraph::{EdgeId, FlowVec, Graph, GraphError, NodeId};
+
+/// Result of an exact max-flow computation.
+#[derive(Debug, Clone)]
+pub struct ExactFlow {
+    /// The maximum flow value.
+    pub value: f64,
+    /// A feasible flow attaining it, as a signed flow on the undirected edges.
+    pub flow: FlowVec,
+    /// Number of Dinic phases (BFS level graphs) that were built.
+    pub phases: usize,
+}
+
+struct Arc {
+    to: usize,
+    cap: f64,
+    flow: f64,
+    /// The undirected edge this arc belongs to and its orientation sign.
+    edge: EdgeId,
+    sign: f64,
+}
+
+struct DinicState {
+    arcs: Vec<Arc>,
+    head: Vec<Vec<usize>>, // arc indices per node
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl DinicState {
+    fn new(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut arcs = Vec::with_capacity(2 * g.num_edges());
+        let mut head = vec![Vec::new(); n];
+        for (id, e) in g.edges() {
+            let a = arcs.len();
+            arcs.push(Arc {
+                to: e.head.index(),
+                cap: e.capacity,
+                flow: 0.0,
+                edge: id,
+                sign: 1.0,
+            });
+            head[e.tail.index()].push(a);
+            let b = arcs.len();
+            arcs.push(Arc {
+                to: e.tail.index(),
+                cap: e.capacity,
+                flow: 0.0,
+                edge: id,
+                sign: -1.0,
+            });
+            head[e.head.index()].push(b);
+        }
+        DinicState {
+            arcs,
+            head,
+            level: vec![-1; n],
+            iter: vec![0; n],
+        }
+    }
+
+    fn residual(&self, arc: usize) -> f64 {
+        self.arcs[arc].cap - self.arcs[arc].flow
+    }
+
+    fn bfs(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &a in &self.head[u] {
+                let arc = &self.arcs[a];
+                if self.level[arc.to] < 0 && arc.cap - arc.flow > 1e-12 {
+                    self.level[arc.to] = self.level[u] + 1;
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, pushed: f64) -> f64 {
+        if u == t {
+            return pushed;
+        }
+        while self.iter[u] < self.head[u].len() {
+            let a = self.head[u][self.iter[u]];
+            let v = self.arcs[a].to;
+            if self.level[v] == self.level[u] + 1 && self.residual(a) > 1e-12 {
+                let d = self.dfs(v, t, pushed.min(self.residual(a)));
+                if d > 1e-12 {
+                    self.arcs[a].flow += d;
+                    // The reverse arc is the partner with opposite sign on the
+                    // same undirected edge: arcs are created in pairs.
+                    let partner = a ^ 1;
+                    self.arcs[partner].flow -= d;
+                    return d;
+                }
+            }
+            self.iter[u] += 1;
+        }
+        0.0
+    }
+}
+
+/// Computes the exact maximum s–t flow with Dinic's algorithm.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfRange`] for invalid terminals and
+/// [`GraphError::SelfLoop`] if `s == t`.
+pub fn max_flow(g: &Graph, s: NodeId, t: NodeId) -> Result<ExactFlow, GraphError> {
+    let n = g.num_nodes();
+    for v in [s, t] {
+        if v.index() >= n {
+            return Err(GraphError::NodeOutOfRange {
+                node: v.index(),
+                num_nodes: n,
+            });
+        }
+    }
+    if s == t {
+        return Err(GraphError::SelfLoop { node: s.index() });
+    }
+    let mut state = DinicState::new(g);
+    let mut value = 0.0;
+    let mut phases = 0usize;
+    while state.bfs(s.index(), t.index()) {
+        phases += 1;
+        state.iter.iter_mut().for_each(|i| *i = 0);
+        loop {
+            let pushed = state.dfs(s.index(), t.index(), f64::INFINITY);
+            if pushed <= 1e-12 {
+                break;
+            }
+            value += pushed;
+        }
+        if phases > 10 * n + 10 {
+            break; // numerical safety; cannot happen for rational capacities
+        }
+    }
+    // Net signed flow per undirected edge.
+    let mut flow = FlowVec::zeros(g.num_edges());
+    for arc in &state.arcs {
+        if arc.sign > 0.0 {
+            flow.add(arc.edge, arc.flow);
+        }
+    }
+    Ok(ExactFlow { value, flow, phases })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgraph::{cut, gen, GraphBuilder};
+
+    #[test]
+    fn path_bottleneck() {
+        let g = GraphBuilder::new(4)
+            .edge(0, 1, 3.0)
+            .edge(1, 2, 1.5)
+            .edge(2, 3, 2.0)
+            .build()
+            .unwrap();
+        let r = max_flow(&g, NodeId(0), NodeId(3)).unwrap();
+        assert!((r.value - 1.5).abs() < 1e-9);
+        r.flow.validate_st_flow(&g, NodeId(0), NodeId(3), 1e-9).unwrap();
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        // Two disjoint s-t paths of capacities 2 and 3.
+        let g = GraphBuilder::new(4)
+            .edge(0, 1, 2.0)
+            .edge(1, 3, 2.0)
+            .edge(0, 2, 3.0)
+            .edge(2, 3, 3.0)
+            .build()
+            .unwrap();
+        let r = max_flow(&g, NodeId(0), NodeId(3)).unwrap();
+        assert!((r.value - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_exhaustive_min_cut_on_small_graphs() {
+        for seed in 0..5 {
+            let g = gen::random_gnp(10, 0.4, (1.0, 5.0), seed);
+            let (s, t) = gen::default_terminals(&g);
+            let r = max_flow(&g, s, t).unwrap();
+            let mincut = cut::exhaustive_min_st_cut(&g, s, t);
+            assert!(
+                (r.value - mincut).abs() < 1e-6,
+                "seed {seed}: flow {} vs min cut {mincut}",
+                r.value
+            );
+            r.flow.validate_st_flow(&g, s, t, 1e-6).unwrap();
+        }
+    }
+
+    #[test]
+    fn grid_corner_to_corner() {
+        let g = gen::grid(5, 5, 1.0);
+        let r = max_flow(&g, NodeId(0), NodeId(24)).unwrap();
+        assert!((r.value - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_terminals_rejected() {
+        let g = gen::path(3, 1.0);
+        assert!(max_flow(&g, NodeId(0), NodeId(0)).is_err());
+        assert!(max_flow(&g, NodeId(0), NodeId(7)).is_err());
+    }
+
+    #[test]
+    fn flow_value_never_exceeds_degree_capacity() {
+        let g = gen::random_regular(20, 4, 2.0, 3);
+        let (s, t) = gen::default_terminals(&g);
+        let r = max_flow(&g, s, t).unwrap();
+        assert!(r.value <= g.weighted_degree(s) + 1e-9);
+        assert!(r.value <= g.weighted_degree(t) + 1e-9);
+    }
+}

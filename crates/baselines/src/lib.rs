@@ -1,0 +1,34 @@
+//! Baselines for the distributed max-flow reproduction.
+//!
+//! The paper (§1.2) positions its `(D + √n)·n^{o(1)}`-round algorithm against
+//! two kinds of prior art, both of which this crate implements:
+//!
+//! * **exact centralized algorithms** used as the quality oracle —
+//!   [`dinic`] and the centralized [`push_relabel`];
+//! * **trivial distributed strategies** used as the round-complexity
+//!   yardstick — the `Ω(n²)`-round distributed push–relabel
+//!   ([`push_relabel::distributed_max_flow`]), the `O(m)`-round
+//!   collect-everything algorithm ([`trivial::collect_and_solve`]) and the
+//!   single-spanning-tree routing ([`trivial::single_tree_flow`]).
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::dinic;
+//! use flowgraph::{gen, NodeId};
+//!
+//! let g = gen::grid(4, 4, 1.0);
+//! let exact = dinic::max_flow(&g, NodeId(0), NodeId(15)).unwrap();
+//! assert!((exact.value - 2.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dinic;
+pub mod push_relabel;
+pub mod trivial;
+
+pub use dinic::ExactFlow;
+pub use push_relabel::{DistributedPushRelabel, PushRelabelFlow};
+pub use trivial::{CollectAndSolve, SingleTreeFlow};

@@ -1,0 +1,127 @@
+//! Trivial distributed baselines (paper §1.2).
+//!
+//! * [`collect_and_solve`] — "any problem whose input and output can be
+//!   encoded with O(log n) bits per edge can be trivially solved in O(m)
+//!   rounds by collecting all input at a single node, solving it there, and
+//!   distributing the results back". We charge exactly that: `D` rounds to
+//!   build a BFS tree plus `m` rounds of pipelining the edge list up and the
+//!   per-edge flow values back down, and solve exactly with Dinic locally.
+//! * [`single_tree_flow`] — route everything over one spanning tree and scale
+//!   to feasibility: the cheapest distributed strategy, used as the quality
+//!   floor in E2.
+
+use congest::RoundCost;
+use flowgraph::{max_weight_spanning_tree, Demand, FlowVec, Graph, GraphError, NodeId};
+
+use crate::dinic;
+
+/// Result of the collect-at-one-node baseline.
+#[derive(Debug, Clone)]
+pub struct CollectAndSolve {
+    /// The exact max-flow value (computed centrally).
+    pub value: f64,
+    /// The exact flow.
+    pub flow: FlowVec,
+    /// The CONGEST round bill: `O(D + m)` for collection plus distribution.
+    pub rounds: RoundCost,
+}
+
+/// Runs the trivial `O(m)`-round algorithm: collect the topology at one node
+/// over a BFS tree, solve exactly, and ship the per-edge answers back.
+///
+/// # Errors
+///
+/// Returns graph errors for disconnected inputs or invalid terminals.
+pub fn collect_and_solve(g: &Graph, s: NodeId, t: NodeId) -> Result<CollectAndSolve, GraphError> {
+    let d = g.approx_hop_diameter()?;
+    let exact = dinic::max_flow(g, s, t)?;
+    let m = g.num_edges() as u64;
+    // Upcast m edge descriptions (pipelined over the BFS tree): D + m rounds;
+    // downcast m flow values: another D + m.
+    let rounds = RoundCost::new(2 * (d as u64 + m), 2 * m * (g.num_nodes() as u64), 3);
+    Ok(CollectAndSolve {
+        value: exact.value,
+        flow: exact.flow,
+        rounds,
+    })
+}
+
+/// Result of the single-spanning-tree baseline.
+#[derive(Debug, Clone)]
+pub struct SingleTreeFlow {
+    /// Value of the feasible flow obtained by scaling the tree routing.
+    pub value: f64,
+    /// The feasible flow.
+    pub flow: FlowVec,
+    /// Maximum congestion of the unscaled tree routing of a unit of demand.
+    pub unit_congestion: f64,
+}
+
+/// Routes one unit of s–t demand over the maximum-weight spanning tree,
+/// scales to feasibility and returns the resulting flow — the simplest
+/// possible "flow over a tree" strategy (what Algorithm 1 degenerates to with
+/// zero `AlmostRoute` phases).
+///
+/// # Errors
+///
+/// Returns graph errors for disconnected inputs or invalid terminals.
+pub fn single_tree_flow(g: &Graph, s: NodeId, t: NodeId) -> Result<SingleTreeFlow, GraphError> {
+    if s == t {
+        return Err(GraphError::SelfLoop { node: s.index() });
+    }
+    let tree = max_weight_spanning_tree(g, NodeId(0))?;
+    let unit = Demand::st(g, s, t, 1.0);
+    let mut flow = tree.route_demand_on_graph(g, &unit)?;
+    let congestion = flow.max_congestion(g).max(f64::MIN_POSITIVE);
+    flow.scale(1.0 / congestion);
+    Ok(SingleTreeFlow {
+        value: 1.0 / congestion,
+        flow,
+        unit_congestion: congestion,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgraph::gen;
+
+    #[test]
+    fn collect_and_solve_is_exact_but_pays_m_rounds() {
+        let g = gen::grid(5, 5, 1.0);
+        let (s, t) = (NodeId(0), NodeId(24));
+        let r = collect_and_solve(&g, s, t).unwrap();
+        assert!((r.value - 2.0).abs() < 1e-9);
+        assert!(r.rounds.rounds >= 2 * g.num_edges() as u64);
+        r.flow.validate_st_flow(&g, s, t, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn single_tree_flow_is_feasible_but_suboptimal() {
+        let g = gen::grid(5, 5, 1.0);
+        let (s, t) = (NodeId(0), NodeId(24));
+        let tree = single_tree_flow(&g, s, t).unwrap();
+        tree.flow.validate_st_flow(&g, s, t, 1e-6).unwrap();
+        let exact = dinic::max_flow(&g, s, t).unwrap();
+        assert!(tree.value <= exact.value + 1e-9);
+        // A single tree can ship at most one unit corner-to-corner on a grid.
+        assert!(tree.value <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn single_tree_flow_exact_on_trees() {
+        let g = gen::path(6, 2.5);
+        let (s, t) = gen::default_terminals(&g);
+        let tree = single_tree_flow(&g, s, t).unwrap();
+        assert!((tree.value - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let g = gen::path(4, 1.0);
+        assert!(single_tree_flow(&g, NodeId(2), NodeId(2)).is_err());
+        let mut disconnected = Graph::with_nodes(3);
+        disconnected.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        assert!(collect_and_solve(&disconnected, NodeId(0), NodeId(2)).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the congestion-approximator substrates
+//! (experiments E3/E4/E6/E7): low-stretch trees, sparsifiers, tree ensembles
+//! and j-tree extraction.
+
+use capprox::{build_jtree, build_tree_ensemble, sparsify, RackeConfig, SparsifyConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowgraph::gen;
+use lowstretch::{low_stretch_spanning_tree, LowStretchConfig};
+
+fn bench_low_stretch_tree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("low_stretch_tree");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let g = gen::Family::Random.generate(n, 5);
+        let lengths: Vec<f64> = g.edge_ids().map(|e| 1.0 / g.capacity(e)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                low_stretch_spanning_tree(&g, &lengths, &LowStretchConfig::default())
+                    .unwrap()
+                    .stats
+                    .iterations
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparsifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparsifier");
+    group.sample_size(10);
+    for &n in &[100usize, 200] {
+        let g = gen::complete(n, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sparsify(&g, &SparsifyConfig::default()).graph.num_edges())
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_ensemble_and_jtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ensemble_and_jtree");
+    group.sample_size(10);
+    let g = gen::Family::Random.generate(150, 9);
+    group.bench_function("tree_ensemble_8", |b| {
+        b.iter(|| {
+            build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(8))
+                .unwrap()
+                .trees
+                .len()
+        })
+    });
+    let ensemble = build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(1)).unwrap();
+    group.bench_function("jtree_extraction", |b| {
+        b.iter(|| build_jtree(&g, &ensemble.trees[0], 12).num_portals())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_low_stretch_tree,
+    bench_sparsifier,
+    bench_tree_ensemble_and_jtree
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benchmarks for the max-flow pipeline (experiments E1/E2/E5):
+//! wall-clock cost of the approximate solver vs. the exact baselines, and of
+//! single AlmostRoute calls at different ε.
+
+use capprox::{CongestionApproximator, RackeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowgraph::{gen, Demand};
+use maxflow::{AlmostRouteConfig, MaxFlowConfig};
+
+fn solver_config(eps: f64) -> MaxFlowConfig {
+    MaxFlowConfig {
+        epsilon: eps,
+        racke: RackeConfig::default().with_num_trees(6).with_seed(1),
+        alpha: None,
+        max_iterations_per_phase: 2_000,
+        phases: Some(2),
+    }
+}
+
+fn bench_approx_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow_approx_vs_exact");
+    group.sample_size(10);
+    for &n in &[36usize, 100] {
+        let side = (n as f64).sqrt() as usize;
+        let g = gen::grid(side, side, 1.0);
+        let (s, t) = gen::default_terminals(&g);
+        group.bench_with_input(BenchmarkId::new("sherman_approx", n), &n, |b, _| {
+            b.iter(|| maxflow::approx_max_flow(&g, s, t, &solver_config(0.3)).unwrap().value)
+        });
+        group.bench_with_input(BenchmarkId::new("dinic_exact", n), &n, |b, _| {
+            b.iter(|| baselines::dinic::max_flow(&g, s, t).unwrap().value)
+        });
+        group.bench_with_input(BenchmarkId::new("push_relabel_exact", n), &n, |b, _| {
+            b.iter(|| baselines::push_relabel::max_flow(&g, s, t).unwrap().value)
+        });
+    }
+    group.finish();
+}
+
+fn bench_almost_route_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("almost_route_epsilon");
+    group.sample_size(10);
+    let g = gen::grid(7, 7, 1.0);
+    let (s, t) = gen::default_terminals(&g);
+    let r = CongestionApproximator::build(
+        &g,
+        &RackeConfig::default().with_num_trees(6).with_seed(2),
+    )
+    .unwrap();
+    let b = Demand::st(&g, s, t, 1.0);
+    for &eps in &[0.5f64, 0.25, 0.1] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |bench, &eps| {
+            bench.iter(|| {
+                maxflow::almost_route(
+                    &g,
+                    &r,
+                    &b,
+                    &AlmostRouteConfig {
+                        epsilon: eps,
+                        alpha: None,
+                        max_iterations: 50_000,
+                    },
+                )
+                .iterations
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed_round_accounting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed_round_accounting");
+    group.sample_size(10);
+    for &n in &[64usize, 144] {
+        let g = gen::Family::Expander.generate(n, 3);
+        let (s, t) = gen::default_terminals(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                maxflow::distributed_approx_max_flow(&g, s, t, &solver_config(0.3))
+                    .unwrap()
+                    .rounds
+                    .total
+                    .rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_approx_vs_exact,
+    bench_almost_route_epsilon,
+    bench_distributed_round_accounting
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the CONGEST primitives (experiment E8): the
+//! simulator itself, BFS-tree construction, pipelined aggregation and the
+//! decomposed tree aggregations of Lemma 9.1.
+
+use congest::primitives::{build_bfs_tree, convergecast_sum, pipelined_convergecast};
+use congest::treeops::{distributed_subtree_sums, TreeDecomposition};
+use congest::Network;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowgraph::{gen, spanning, NodeId};
+
+fn bench_bfs_and_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congest_primitives");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        let g = gen::grid((n as f64).sqrt() as usize, (n as f64).sqrt() as usize, 1.0);
+        let network = Network::new(g);
+        group.bench_with_input(BenchmarkId::new("bfs_tree", n), &n, |b, _| {
+            b.iter(|| build_bfs_tree(&network, NodeId(0)).cost.rounds)
+        });
+        let bfs = build_bfs_tree(&network, NodeId(0));
+        let values = vec![1.0; network.num_nodes()];
+        group.bench_with_input(BenchmarkId::new("convergecast", n), &n, |b, _| {
+            b.iter(|| convergecast_sum(&network, &bfs.tree, &values).root_value)
+        });
+        let k = 8;
+        let per_node: Vec<Vec<f64>> = (0..network.num_nodes())
+            .map(|v| (0..k).map(|i| (v + i) as f64).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("pipelined_k8", n), &n, |b, _| {
+            b.iter(|| pipelined_convergecast(&network, &bfs.tree, &per_node, k).cost.rounds)
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_aggregation_lemma91(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma91_tree_aggregation");
+    group.sample_size(10);
+    for &n in &[400usize, 900] {
+        let g = gen::path(n, 1.0);
+        let tree = spanning::bfs_tree(&g, NodeId(0)).unwrap();
+        let network = Network::new(g);
+        let bfs = build_bfs_tree(&network, NodeId(0)).tree;
+        let values = vec![1.0; n];
+        let mut rng = gen::rng(1);
+        let dec =
+            TreeDecomposition::sample(&tree, TreeDecomposition::recommended_probability(n), &mut rng);
+        group.bench_with_input(BenchmarkId::new("decomposed", n), &n, |b, _| {
+            b.iter(|| {
+                distributed_subtree_sums(&network, &tree, &dec, &bfs, &values)
+                    .cost
+                    .rounds
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs_and_aggregation, bench_tree_aggregation_lemma91);
+criterion_main!(benches);

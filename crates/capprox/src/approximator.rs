@@ -1,0 +1,323 @@
+//! The congestion approximator `R` (paper §2 and Lemma 3.3).
+//!
+//! `R` has one row per (tree, non-root node) pair of a sampled tree ensemble:
+//! the row for node `v` of tree `T` evaluates, for a demand vector `b`, the
+//! congestion `|Σ_{w ∈ subtree_T(v)} b_w| / cap_G(δ(subtree_T(v)))` that any
+//! routing of `b` must place on the cut induced by `v`'s parent edge. Because
+//! every row is the congestion of an actual cut of `G`,
+//! `‖Rb‖_∞ ≤ opt(b)` holds unconditionally; the tree-distribution argument
+//! (Lemma 3.3) bounds the other direction by a factor `α`.
+//!
+//! The two linear operators needed by Sherman's gradient descent — `R·b` and
+//! `Rᵀ·y` — are tree aggregations: subtree sums for `R` and root-to-node
+//! prefix sums for `Rᵀ` (§9.1), which is what makes the distributed
+//! evaluation possible in `Õ(√n + D)` rounds.
+
+use flowgraph::{Demand, Graph, GraphError};
+use serde::{Deserialize, Serialize};
+
+use crate::racke::{build_tree_ensemble, CapacitatedTree, RackeConfig, TreeEnsemble};
+
+/// A congestion approximator built from an ensemble of capacitated spanning
+/// trees.
+#[derive(Debug, Clone)]
+pub struct CongestionApproximator {
+    trees: Vec<CapacitatedTree>,
+    num_nodes: usize,
+}
+
+/// Summary statistics describing an approximator instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApproximatorStats {
+    /// Number of trees in the ensemble.
+    pub num_trees: usize,
+    /// Number of rows of `R` (trees × nodes; root rows are identically 0).
+    pub num_rows: usize,
+    /// The provable quality bound `min_T max_e rload_T(e)` (route everything
+    /// on the single best tree).
+    pub provable_alpha: f64,
+}
+
+impl CongestionApproximator {
+    /// Wraps an explicit tree ensemble as an approximator.
+    pub fn from_ensemble(ensemble: TreeEnsemble) -> Self {
+        let num_nodes = ensemble
+            .trees
+            .first()
+            .map(|t| t.tree.num_nodes())
+            .unwrap_or(0);
+        CongestionApproximator {
+            trees: ensemble.trees,
+            num_nodes,
+        }
+    }
+
+    /// Builds the approximator for `g` by constructing a Räcke-style tree
+    /// ensemble (Lemma 3.3: `O(log n)` sampled trees).
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors for empty or disconnected graphs.
+    pub fn build(g: &Graph, config: &RackeConfig) -> Result<Self, GraphError> {
+        Ok(Self::from_ensemble(build_tree_ensemble(g, config)?))
+    }
+
+    /// The trees backing the approximator.
+    pub fn trees(&self) -> &[CapacitatedTree] {
+        &self.trees
+    }
+
+    /// Number of network nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of rows of `R` (one per tree per node; root rows are zero).
+    pub fn num_rows(&self) -> usize {
+        self.trees.len() * self.num_nodes
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> ApproximatorStats {
+        ApproximatorStats {
+            num_trees: self.trees.len(),
+            num_rows: self.num_rows(),
+            provable_alpha: self.provable_alpha(),
+        }
+    }
+
+    /// The conservative, always-valid quality bound: routing any demand on
+    /// the single tree with the smallest maximum relative load overestimates
+    /// the optimal congestion by at most this factor.
+    pub fn provable_alpha(&self) -> f64 {
+        self.trees
+            .iter()
+            .map(|t| t.max_rload().max(1.0))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Evaluates `R·b`: for every tree and node, the congestion forced on the
+    /// corresponding tree cut. Row layout: `tree_index * n + node_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the approximator's node count.
+    pub fn apply(&self, b: &Demand) -> Vec<f64> {
+        assert_eq!(b.len(), self.num_nodes, "demand length mismatch");
+        let mut rows = Vec::with_capacity(self.num_rows());
+        for t in &self.trees {
+            let sums = t.tree.subtree_sums(b.values());
+            for v in 0..self.num_nodes {
+                let cap = t.cut_capacity[v];
+                if cap > 0.0 {
+                    rows.push(sums[v] / cap);
+                } else {
+                    rows.push(0.0);
+                }
+            }
+        }
+        rows
+    }
+
+    /// `‖R·b‖_∞` — the approximator's estimate (lower bound) of the optimal
+    /// congestion needed to route `b` in `G`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the approximator's node count.
+    pub fn congestion_lower_bound(&self, b: &Demand) -> f64 {
+        self.apply(b).iter().map(|x| x.abs()).fold(0.0, f64::max)
+    }
+
+    /// An upper bound on the optimal congestion: the best congestion achieved
+    /// by routing `b` entirely on one of the ensemble's trees (using graph
+    /// edge capacities). Together with [`Self::congestion_lower_bound`] this
+    /// sandwiches `opt(b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the approximator's node count.
+    pub fn congestion_upper_bound(&self, g: &Graph, b: &Demand) -> f64 {
+        self.trees
+            .iter()
+            .map(|t| t.tree_routing_congestion(g, b))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Evaluates `Rᵀ·y` for a price vector `y` (one entry per row of `R`,
+    /// same layout as [`Self::apply`]): returns the per-node potentials
+    /// `π_v = Σ_{rows i whose cut contains v} y_i / cap_i` — the quantity the
+    /// gradient descent needs to compute `∂φ₂/∂f_e = π_v − π_u` (§9.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` does not equal [`Self::num_rows`].
+    pub fn apply_transpose(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.num_rows(), "price vector length mismatch");
+        let mut potentials = vec![0.0; self.num_nodes];
+        for (t_index, t) in self.trees.iter().enumerate() {
+            // Per-node price of the row indexed by this node's parent edge,
+            // already scaled by the cut capacity.
+            let mut per_node = vec![0.0; self.num_nodes];
+            for v in 0..self.num_nodes {
+                let cap = t.cut_capacity[v];
+                if cap > 0.0 {
+                    per_node[v] = y[t_index * self.num_nodes + v] / cap;
+                }
+            }
+            // π contribution of this tree: sum of prices along the root path.
+            let prefix = t.tree.prefix_sums_from_root(&per_node);
+            for v in 0..self.num_nodes {
+                potentials[v] += prefix[v];
+            }
+        }
+        potentials
+    }
+
+    /// Measured approximation factor for a specific demand:
+    /// `opt_estimate / ‖Rb‖_∞`, where the optimum is estimated by the best
+    /// tree routing (an upper bound on `opt`, so the returned value is an
+    /// upper bound on the true factor for this demand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the approximator's node count.
+    pub fn measured_alpha(&self, g: &Graph, b: &Demand) -> f64 {
+        let lower = self.congestion_lower_bound(b);
+        let upper = self.congestion_upper_bound(g, b);
+        if lower <= 0.0 {
+            1.0
+        } else {
+            upper / lower
+        }
+    }
+}
+
+/// Exact optimal congestion `opt(b)` of a demand on a *small* graph (≤ 20
+/// nodes), computed as the maximum cut congestion over all proper cuts.
+/// By LP duality (max-flow min-cut for single commodities / the max
+/// concurrent-flow bound used in §2), this is the exact value for
+/// single-source-single-sink demands and a lower bound in general; it serves
+/// as the ground truth in the approximator quality experiments.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 20 nodes.
+pub fn exhaustive_opt_congestion(g: &Graph, b: &Demand) -> f64 {
+    flowgraph::cut::enumerate_proper_cuts(g)
+        .iter()
+        .map(|c| c.demand_congestion(g, b))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgraph::{gen, Demand, NodeId};
+
+    fn build(g: &Graph, trees: usize, seed: u64) -> CongestionApproximator {
+        CongestionApproximator::build(
+            g,
+            &RackeConfig::default().with_num_trees(trees).with_seed(seed),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_exact_opt() {
+        // ‖Rb‖∞ ≤ opt(b) must hold for every demand because every row is a
+        // genuine cut of G.
+        let g = gen::random_gnp(12, 0.35, (1.0, 4.0), 3);
+        let approx = build(&g, 4, 1);
+        let mut rng = gen::rng(7);
+        for _ in 0..20 {
+            let mut b = Demand::zeros(12);
+            for v in 0..12 {
+                b.set(NodeId(v), rand::Rng::gen_range(&mut rng, -2.0..2.0));
+            }
+            let total = b.total();
+            let last = b.get(NodeId(11)) - total;
+            b.set(NodeId(11), last);
+            let lower = approx.congestion_lower_bound(&b);
+            let opt = exhaustive_opt_congestion(&g, &b);
+            assert!(
+                lower <= opt + 1e-9,
+                "lower bound {lower} exceeded exact opt {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn sandwich_bounds_bracket_exact_opt_for_st_demands() {
+        let g = gen::grid(4, 4, 1.0);
+        let approx = build(&g, 8, 2);
+        let b = Demand::st(&g, NodeId(0), NodeId(15), 1.0);
+        let lower = approx.congestion_lower_bound(&b);
+        let upper = approx.congestion_upper_bound(&g, &b);
+        let opt = exhaustive_opt_congestion(&g, &b);
+        assert!(lower <= opt + 1e-9);
+        assert!(upper + 1e-9 >= opt);
+        assert!(upper >= lower);
+        // The measured quality should be modest on a small grid.
+        assert!(approx.measured_alpha(&g, &b) < 20.0);
+    }
+
+    #[test]
+    fn apply_transpose_is_adjoint_of_apply() {
+        // <R b, y> must equal <b, Rᵀ y> for arbitrary b, y.
+        let g = gen::random_gnp(15, 0.3, (1.0, 3.0), 4);
+        let approx = build(&g, 3, 3);
+        let mut rng = gen::rng(11);
+        let mut b = Demand::zeros(15);
+        for v in 0..15 {
+            b.set(NodeId(v), rand::Rng::gen_range(&mut rng, -1.0..1.0));
+        }
+        let y: Vec<f64> = (0..approx.num_rows())
+            .map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0))
+            .collect();
+        let rb = approx.apply(&b);
+        let rty = approx.apply_transpose(&y);
+        let lhs: f64 = rb.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = rty
+            .iter()
+            .zip(b.values())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()),
+            "adjoint identity violated: {lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn zero_demand_gives_zero_rows() {
+        let g = gen::grid(3, 3, 1.0);
+        let approx = build(&g, 2, 5);
+        let b = Demand::zeros(9);
+        assert!(approx.apply(&b).iter().all(|&x| x == 0.0));
+        assert_eq!(approx.congestion_lower_bound(&b), 0.0);
+        assert_eq!(approx.measured_alpha(&g, &b), 1.0);
+    }
+
+    #[test]
+    fn stats_report_shapes() {
+        let g = gen::grid(4, 4, 1.0);
+        let approx = build(&g, 5, 6);
+        let stats = approx.stats();
+        assert_eq!(stats.num_trees, 5);
+        assert_eq!(stats.num_rows, 5 * 16);
+        assert!(stats.provable_alpha >= 1.0);
+        assert_eq!(approx.num_nodes(), 16);
+    }
+
+    #[test]
+    fn exhaustive_opt_matches_min_cut_for_unit_st_demand() {
+        // opt for routing F units from s to t equals F / mincut(s, t).
+        let g = gen::barbell(4, 1, 1.0, 1.0);
+        let (s, t) = gen::default_terminals(&g);
+        let b = Demand::st(&g, s, t, 3.0);
+        let opt = exhaustive_opt_congestion(&g, &b);
+        let mincut = flowgraph::cut::exhaustive_min_st_cut(&g, s, t);
+        assert!((opt - 3.0 / mincut).abs() < 1e-9);
+    }
+}

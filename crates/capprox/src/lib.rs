@@ -1,0 +1,44 @@
+//! Congestion approximators for the distributed max-flow reproduction
+//! (paper §2, §4, §6, §8).
+//!
+//! A congestion approximator is a linear operator `R` with
+//! `‖Rb‖_∞ ≤ opt(b) ≤ α·‖Rb‖_∞` for every demand vector `b`, where `opt(b)`
+//! is the smallest possible maximum edge congestion of any routing of `b`.
+//! Sherman's gradient descent (implemented in the `maxflow` crate) needs `R`
+//! and `Rᵀ` as black boxes; this crate builds them from:
+//!
+//! * [`sparsify`] — cut sparsifiers (§6) that shrink dense graphs before the
+//!   expensive tree constructions;
+//! * [`racke`] — Räcke-style distributions of capacitated low-stretch
+//!   spanning trees built by multiplicative weight updates (§2, §8.2);
+//! * [`jtree`] — Madry's j-tree construction with portals and skeletons
+//!   (§4, §8.3), plus the recursive hierarchy of Theorem 8.10;
+//! * [`approximator`] — the `O(log n)`-sample tree-cut approximator of
+//!   Lemma 3.3 with `R·b` / `Rᵀ·y` evaluation by tree aggregation (§9.1).
+//!
+//! # Example
+//!
+//! ```
+//! use capprox::{CongestionApproximator, RackeConfig};
+//! use flowgraph::{gen, Demand, NodeId};
+//!
+//! let g = gen::grid(5, 5, 1.0);
+//! let r = CongestionApproximator::build(&g, &RackeConfig::default()).unwrap();
+//! let b = Demand::st(&g, NodeId(0), NodeId(24), 1.0);
+//! let lower = r.congestion_lower_bound(&b);
+//! let upper = r.congestion_upper_bound(&g, &b);
+//! assert!(lower <= upper);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approximator;
+pub mod jtree;
+pub mod racke;
+pub mod sparsify;
+
+pub use approximator::{exhaustive_opt_congestion, ApproximatorStats, CongestionApproximator};
+pub use jtree::{build_hierarchy, build_jtree, CoreEdgeOrigin, Hierarchy, JTree};
+pub use racke::{build_tree_ensemble, CapacitatedTree, EnsembleStats, RackeConfig, TreeEnsemble};
+pub use sparsify::{forest_indices, sparsify, Sparsifier, SparsifyConfig};

@@ -1,0 +1,356 @@
+//! Räcke-style tree distributions via multiplicative weight updates
+//! (paper §2 "Congestion Approximators: Räcke's Construction" and §8.2).
+//!
+//! Each iteration builds a low average-stretch spanning tree with respect to
+//! the current edge lengths, computes the load every tree edge would carry if
+//! all graph edges routed their capacity over the tree (the multicommodity
+//! flow of §8.1), and then increases the lengths of highly loaded tree edges
+//! so that subsequent trees avoid them. The resulting small ensemble of
+//! capacitated trees is exactly what Lemma 3.3 needs: `O(log n)` samples from
+//! a cut-preserving tree distribution.
+
+use flowgraph::{EdgeId, Graph, GraphError, NodeId, RootedTree};
+use lowstretch::{low_stretch_spanning_tree, LowStretchConfig};
+use serde::{Deserialize, Serialize};
+
+/// A spanning tree together with, for every non-root node, the capacity of
+/// the cut its parent edge induces in `G`.
+///
+/// For a spanning subtree the cut capacity equals the total capacity of the
+/// graph edges whose unique tree path crosses the parent edge (the
+/// multicommodity load `|f'_e|` of §8.1), which we exploit to compute it with
+/// one LCA pass.
+#[derive(Debug, Clone)]
+pub struct CapacitatedTree {
+    /// The spanning tree (rooted at node 0).
+    pub tree: RootedTree,
+    /// `cut_capacity[v]` = capacity of the cut induced by `v`'s parent edge;
+    /// entry for the root is 0.
+    pub cut_capacity: Vec<f64>,
+    /// `rload[v]` = cut_capacity[v] / cap(parent edge of v); 0 for the root.
+    pub rload: Vec<f64>,
+}
+
+impl CapacitatedTree {
+    /// Builds the capacitated tree for a spanning subtree of `g`.
+    pub fn new(g: &Graph, tree: RootedTree) -> Self {
+        let cut_capacity = tree_loads(g, &tree);
+        let rload = tree
+            .preorder()
+            .iter()
+            .map(|&v| match tree.parent_edge(v) {
+                Some(e) => cut_capacity[v.index()] / g.capacity(e),
+                None => 0.0,
+            })
+            .collect::<Vec<_>>();
+        // preorder is a permutation of nodes; re-index by node id.
+        let mut rload_by_node = vec![0.0; tree.num_nodes()];
+        for (i, &v) in tree.preorder().iter().enumerate() {
+            rload_by_node[v.index()] = rload[i];
+        }
+        CapacitatedTree {
+            tree,
+            cut_capacity,
+            rload: rload_by_node,
+        }
+    }
+
+    /// Largest relative load `R = max_e rload(e)` over the tree edges.
+    pub fn max_rload(&self) -> f64 {
+        self.rload.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Maximum congestion over the *graph* tree edges when routing demand `b`
+    /// entirely on this tree (the upper-bound side of the approximator).
+    pub fn tree_routing_congestion(&self, g: &Graph, b: &flowgraph::Demand) -> f64 {
+        self.tree.routing_congestion(g, b)
+    }
+}
+
+/// Computes, for every non-root node `v`, the total capacity of the graph
+/// edges whose tree path crosses `v`'s parent edge — which equals the
+/// capacity of the cut `(subtree(v), rest)` in `G`.
+///
+/// Uses the standard LCA marking trick: for edge `{u, w}` with capacity `c`
+/// add `c` at `u` and `w` and `-2c` at `lca(u, w)`; the subtree sums of the
+/// marks are exactly the loads.
+pub fn tree_loads(g: &Graph, tree: &RootedTree) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut marks = vec![0.0; n];
+    for (_, e) in g.edges() {
+        let l = tree.lca(e.tail, e.head);
+        marks[e.tail.index()] += e.capacity;
+        marks[e.head.index()] += e.capacity;
+        marks[l.index()] -= 2.0 * e.capacity;
+    }
+    let mut sums = tree.subtree_sums(&marks);
+    sums[tree.root().index()] = 0.0;
+    sums
+}
+
+/// Configuration of the multiplicative-weight tree-ensemble construction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RackeConfig {
+    /// Number of trees to build. `None` selects `2·⌈log2 n⌉ + 1`
+    /// (the `O(log n)` samples of Lemma 3.3).
+    pub num_trees: Option<usize>,
+    /// Multiplicative-weight step size.
+    pub mwu_step: f64,
+    /// RNG seed (also seeds the per-tree low-stretch constructions).
+    pub seed: u64,
+    /// Class growth factor handed to the low-stretch construction.
+    pub lowstretch_z: f64,
+}
+
+impl Default for RackeConfig {
+    fn default() -> Self {
+        RackeConfig {
+            num_trees: None,
+            mwu_step: 0.5,
+            seed: 0,
+            lowstretch_z: 32.0,
+        }
+    }
+}
+
+impl RackeConfig {
+    /// Overrides the number of trees.
+    #[must_use]
+    pub fn with_num_trees(mut self, k: usize) -> Self {
+        self.num_trees = Some(k);
+        self
+    }
+
+    /// Overrides the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Statistics of the ensemble construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnsembleStats {
+    /// Number of trees built.
+    pub num_trees: usize,
+    /// Max relative load per tree (the provable per-tree α contribution).
+    pub max_rloads: Vec<f64>,
+    /// Total cluster-level decomposition rounds spent building the trees
+    /// (each costs `O(D + √n)` network rounds when simulated, Lemma 5.1).
+    pub decomposition_rounds: usize,
+    /// Average stretches of the trees with respect to the final lengths.
+    pub average_stretches: Vec<f64>,
+}
+
+/// An ensemble of capacitated spanning trees forming a tree distribution in
+/// the sense of Räcke / Madry, restricted to the `O(log n)` samples that
+/// Lemma 3.3 shows suffice for a congestion approximator.
+#[derive(Debug, Clone)]
+pub struct TreeEnsemble {
+    /// The capacitated trees.
+    pub trees: Vec<CapacitatedTree>,
+    /// Construction statistics.
+    pub stats: EnsembleStats,
+}
+
+/// Builds the tree ensemble for `g` using multiplicative weight updates over
+/// edge lengths (Räcke's construction, §2) with low average-stretch spanning
+/// trees as the subroutine (Theorem 3.1).
+///
+/// # Errors
+///
+/// Propagates [`GraphError`]s from the low-stretch construction (empty or
+/// disconnected input).
+pub fn build_tree_ensemble(g: &Graph, config: &RackeConfig) -> Result<TreeEnsemble, GraphError> {
+    if g.num_nodes() == 0 {
+        return Err(GraphError::Empty);
+    }
+    let n = g.num_nodes();
+    let k = config
+        .num_trees
+        .unwrap_or_else(|| 2 * (n.max(2) as f64).log2().ceil() as usize + 1)
+        .max(1);
+
+    // Initial lengths 1/cap: short = high capacity, so the first tree prefers
+    // high-capacity edges.
+    let mut lengths: Vec<f64> = g.edge_ids().map(|e| 1.0 / g.capacity(e)).collect();
+    let mut trees = Vec::with_capacity(k);
+    let mut stats = EnsembleStats {
+        num_trees: 0,
+        max_rloads: Vec::with_capacity(k),
+        decomposition_rounds: 0,
+        average_stretches: Vec::with_capacity(k),
+    };
+
+    for i in 0..k {
+        let ls_config = LowStretchConfig {
+            z: Some(config.lowstretch_z),
+            radius_factor: 0.25,
+            seed: config.seed.wrapping_add(i as u64 * 7919),
+        };
+        let result = low_stretch_spanning_tree(g, &lengths, &ls_config)?;
+        stats.decomposition_rounds += result.stats.decomposition_rounds;
+        stats
+            .average_stretches
+            .push(result.tree.average_stretch(g, |e| lengths[e.index()]));
+        let cap_tree = CapacitatedTree::new(g, result.tree);
+        let max_rload = cap_tree.max_rload().max(1.0);
+        stats.max_rloads.push(cap_tree.max_rload());
+
+        // Multiplicative weight update: lengthen overloaded tree edges so the
+        // next tree routes around them (Räcke's potential argument).
+        for v in g.nodes() {
+            if let Some(e) = cap_tree.tree.parent_edge(v) {
+                let boost = 1.0 + config.mwu_step * cap_tree.rload[v.index()] / max_rload;
+                lengths[e.index()] *= boost;
+            }
+        }
+        trees.push(cap_tree);
+        stats.num_trees += 1;
+    }
+
+    Ok(TreeEnsemble { trees, stats })
+}
+
+/// Routes demand `b` on tree `t` of the ensemble and materializes the flow on
+/// the graph (used by the flow-repair step of Algorithm 1 and by tests).
+///
+/// # Errors
+///
+/// Returns an error if the tree is not a spanning subtree of `g`.
+pub fn route_on_tree(
+    g: &Graph,
+    tree: &CapacitatedTree,
+    b: &flowgraph::Demand,
+) -> Result<flowgraph::FlowVec, GraphError> {
+    tree.tree.route_demand_on_graph(g, b)
+}
+
+/// Convenience: the single-edge-induced cut of node `v` in tree `t`, as a
+/// [`flowgraph::Cut`] on the node set (used by tests and the experiments).
+pub fn tree_cut(tree: &CapacitatedTree, v: NodeId) -> flowgraph::Cut {
+    tree.tree.subtree_cut(v)
+}
+
+/// The edge set `{parent edge of v : v non-root}` of a capacitated tree, as
+/// graph edge ids.
+pub fn tree_graph_edges(tree: &CapacitatedTree) -> Vec<EdgeId> {
+    tree.tree.graph_edges()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgraph::{gen, spanning, Demand};
+
+    #[test]
+    fn tree_loads_equal_cut_capacities() {
+        let g = gen::grid(5, 5, 1.0);
+        let tree = spanning::bfs_tree(&g, NodeId(0)).unwrap();
+        let loads = tree_loads(&g, &tree);
+        for v in g.nodes() {
+            if v == tree.root() {
+                assert_eq!(loads[v.index()], 0.0);
+                continue;
+            }
+            let cut = tree.subtree_cut(v);
+            assert!(
+                (loads[v.index()] - cut.capacity(&g)).abs() < 1e-9,
+                "load at {v} should equal the induced cut capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn capacitated_tree_rload_at_least_one() {
+        // The parent edge itself always crosses its induced cut, so
+        // rload = cut capacity / edge capacity >= 1.
+        let g = gen::random_gnp(30, 0.2, (1.0, 5.0), 2);
+        let tree = spanning::max_weight_spanning_tree(&g, NodeId(0)).unwrap();
+        let ct = CapacitatedTree::new(&g, tree);
+        for v in g.nodes() {
+            if ct.tree.parent(v).is_some() {
+                assert!(ct.rload[v.index()] >= 1.0 - 1e-9, "rload at {v} is {}", ct.rload[v.index()]);
+            }
+        }
+        assert!(ct.max_rload() >= 1.0);
+    }
+
+    #[test]
+    fn ensemble_has_requested_size_and_spanning_trees() {
+        let g = gen::grid(6, 6, 1.0);
+        let ensemble =
+            build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(5)).unwrap();
+        assert_eq!(ensemble.trees.len(), 5);
+        assert_eq!(ensemble.stats.num_trees, 5);
+        for t in &ensemble.trees {
+            assert_eq!(t.tree.graph_edges().len(), 35);
+        }
+    }
+
+    #[test]
+    fn default_tree_count_is_logarithmic() {
+        let g = gen::grid(5, 5, 1.0);
+        let ensemble = build_tree_ensemble(&g, &RackeConfig::default()).unwrap();
+        let expected = 2 * (25f64).log2().ceil() as usize + 1;
+        assert_eq!(ensemble.trees.len(), expected);
+    }
+
+    #[test]
+    fn mwu_diversifies_trees() {
+        // On a cycle, the first tree must drop one edge; subsequent trees
+        // should (because dropped edges keep their length while tree edges are
+        // lengthened) eventually drop a different edge.
+        let g = gen::cycle(20, 1.0);
+        let ensemble =
+            build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(6)).unwrap();
+        let dropped: std::collections::HashSet<Vec<EdgeId>> = ensemble
+            .trees
+            .iter()
+            .map(|t| {
+                let used: std::collections::HashSet<EdgeId> =
+                    t.tree.graph_edges().into_iter().collect();
+                let mut d: Vec<EdgeId> =
+                    g.edge_ids().filter(|e| !used.contains(e)).collect();
+                d.sort();
+                d
+            })
+            .collect();
+        assert!(
+            dropped.len() > 1,
+            "the MWU should produce at least two distinct trees on a cycle"
+        );
+    }
+
+    #[test]
+    fn routing_on_tree_meets_demand() {
+        let g = gen::grid(4, 4, 1.0);
+        let ensemble =
+            build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(2)).unwrap();
+        let d = Demand::st(&g, NodeId(0), NodeId(15), 2.0);
+        let f = route_on_tree(&g, &ensemble.trees[0], &d).unwrap();
+        let ex = f.excess(&g);
+        assert!((ex[0] + 2.0).abs() < 1e-9);
+        assert!((ex[15] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn errors_on_empty_graph() {
+        let g = Graph::with_nodes(0);
+        assert!(matches!(
+            build_tree_ensemble(&g, &RackeConfig::default()),
+            Err(GraphError::Empty)
+        ));
+    }
+
+    #[test]
+    fn tree_cut_helper_matches_tree() {
+        let g = gen::path(6, 1.0);
+        let ensemble =
+            build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(1)).unwrap();
+        let cut = tree_cut(&ensemble.trees[0], NodeId(3));
+        assert!(cut.is_proper());
+        assert_eq!(tree_graph_edges(&ensemble.trees[0]).len(), 5);
+    }
+}

@@ -1,0 +1,283 @@
+//! Cut sparsification (paper §6, Lemma 6.1).
+//!
+//! The recursive congestion-approximator construction first sparsifies the
+//! (cluster) graph so that later stages only pay for `Õ(n)` edges. The paper
+//! uses Koutis' spanner-based spectral sparsifier; we implement the classic
+//! cut-sparsification scheme in the style of Benczúr–Karger / Fung et al.:
+//! estimate each edge's connectivity with Nagamochi–Ibaraki forest indices
+//! and keep edge `e` with probability `p_e ∝ log n / (ε² · k_e)`,
+//! re-weighting kept edges by `1/p_e`. All cuts are preserved within
+//! `1 ± ε` w.h.p.
+
+use flowgraph::{EdgeId, Graph, UnionFind};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of sparsifying a graph.
+#[derive(Debug, Clone)]
+pub struct Sparsifier {
+    /// The sparsified graph (same node set, re-weighted subset of the edges).
+    pub graph: Graph,
+    /// For every sparsifier edge, the original edge it came from.
+    pub original_edge: Vec<EdgeId>,
+    /// The sampling probability used for every original edge.
+    pub keep_probability: Vec<f64>,
+}
+
+/// Configuration of the sparsifier.
+#[derive(Debug, Clone)]
+pub struct SparsifyConfig {
+    /// Target multiplicative cut error ε.
+    pub epsilon: f64,
+    /// Oversampling constant multiplying `log n / ε²`.
+    pub oversampling: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SparsifyConfig {
+    fn default() -> Self {
+        SparsifyConfig {
+            epsilon: 0.5,
+            oversampling: 4.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Nagamochi–Ibaraki forest indices: repeatedly peel off maximal spanning
+/// forests; the forest index of an edge is a lower bound certificate for the
+/// connectivity between its endpoints.
+///
+/// Returns, for every edge, its (1-based) forest index. Edges in the first
+/// forests are structurally important (low connectivity) and must be kept
+/// with high probability.
+pub fn forest_indices(g: &Graph) -> Vec<usize> {
+    let m = g.num_edges();
+    let mut index = vec![0usize; m];
+    let mut remaining: Vec<EdgeId> = g.edge_ids().collect();
+    let mut forest = 1usize;
+    while !remaining.is_empty() {
+        let mut uf = UnionFind::new(g.num_nodes());
+        let mut next_remaining = Vec::new();
+        for &e in &remaining {
+            let edge = g.edge(e);
+            if uf.union(edge.tail.index(), edge.head.index()) {
+                index[e.index()] = forest;
+            } else {
+                next_remaining.push(e);
+            }
+        }
+        if next_remaining.len() == remaining.len() {
+            // Only parallel edges within already-connected components remain;
+            // assign them the current forest index and stop.
+            for &e in &next_remaining {
+                index[e.index()] = forest;
+            }
+            break;
+        }
+        remaining = next_remaining;
+        forest += 1;
+    }
+    index
+}
+
+/// Sparsifies `g`, preserving every cut within `1 ± ε` w.h.p. and keeping
+/// `O(n · log n / ε²)` edges in expectation.
+///
+/// # Panics
+///
+/// Panics if `ε` is not in `(0, 1)`.
+pub fn sparsify(g: &Graph, config: &SparsifyConfig) -> Sparsifier {
+    assert!(
+        config.epsilon > 0.0 && config.epsilon < 1.0,
+        "epsilon must lie in (0, 1)"
+    );
+    let n = g.num_nodes().max(2);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let indices = forest_indices(g);
+    let base = config.oversampling * (n as f64).ln() / (config.epsilon * config.epsilon);
+    let mut graph = Graph::with_nodes(g.num_nodes());
+    let mut original_edge = Vec::new();
+    let mut keep_probability = Vec::with_capacity(g.num_edges());
+    for (id, e) in g.edges() {
+        let k = indices[id.index()].max(1) as f64;
+        let p = (base / k).min(1.0);
+        keep_probability.push(p);
+        if rng.gen_bool(p) {
+            graph
+                .add_edge(e.tail, e.head, e.capacity / p)
+                .expect("sparsifier edge endpoints are valid");
+            original_edge.push(id);
+        }
+    }
+    Sparsifier {
+        graph,
+        original_edge,
+        keep_probability,
+    }
+}
+
+/// Measures the worst multiplicative cut error of a sparsifier over all
+/// proper cuts of a *small* graph (≤ 20 nodes), by exhaustive enumeration.
+/// Returns `(max over cuts of sparsified/original, min over cuts of
+/// sparsified/original)`.
+///
+/// # Panics
+///
+/// Panics if the graph has more than 20 nodes.
+pub fn exhaustive_cut_error(original: &Graph, sparsified: &Graph) -> (f64, f64) {
+    let cuts = flowgraph::cut::enumerate_proper_cuts(original);
+    let mut max_ratio = f64::MIN;
+    let mut min_ratio = f64::MAX;
+    for cut in cuts {
+        let c0 = cut.capacity(original);
+        let c1 = cut.capacity(sparsified);
+        if c0 <= 0.0 {
+            continue;
+        }
+        let ratio = c1 / c0;
+        max_ratio = max_ratio.max(ratio);
+        min_ratio = min_ratio.min(ratio);
+    }
+    (max_ratio, min_ratio)
+}
+
+/// The CONGEST round cost of the distributed sparsifier (Lemma 6.1):
+/// `O((D + √n) · polylog)` — we charge the measured BFS depth plus `√n`
+/// scaled by `log² n` spanner iterations, with all parameters taken from the
+/// actual instance.
+pub fn congest_cost(n: usize, bfs_depth: usize) -> congest::RoundCost {
+    let n = n.max(2) as u64;
+    let logn = (n as f64).log2().ceil() as u64;
+    let sqrt_n = (n as f64).sqrt().ceil() as u64;
+    congest::RoundCost::rounds((bfs_depth as u64 + sqrt_n) * logn * logn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgraph::gen;
+    use flowgraph::NodeId;
+
+    #[test]
+    fn forest_indices_on_parallel_paths() {
+        // Two parallel edges between 0 and 1: second lands in forest 2.
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let idx = forest_indices(&g);
+        assert_eq!(idx[0], 1);
+        assert_eq!(idx[1], 2);
+    }
+
+    #[test]
+    fn forest_indices_respect_connectivity() {
+        let g = gen::complete(8, 1.0);
+        let idx = forest_indices(&g);
+        // A K8 has 7 edge-disjoint spanning structures; max forest index > 1.
+        assert!(idx.iter().all(|&i| i >= 1));
+        assert!(*idx.iter().max().unwrap() >= 3);
+    }
+
+    #[test]
+    fn sparsifier_keeps_bridges() {
+        // A barbell: the bridge is connectivity 1, must always be kept.
+        let g = gen::barbell(6, 1, 1.0, 1.0);
+        let s = sparsify(&g, &SparsifyConfig::default());
+        assert!(s.graph.is_connected(), "sparsifier must preserve connectivity");
+        // The bridge's keep probability is 1.
+        let idx = forest_indices(&g);
+        for (id, _) in g.edges() {
+            if idx[id.index()] == 1 {
+                assert_eq!(s.keep_probability[id.index()], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sparsifier_reduces_dense_graphs() {
+        // Keeping O(n log^2 n / eps^2) of the Theta(n^2) edges: on K_300 the
+        // sparsifier must drop more than half of the edges.
+        let g = gen::complete(300, 1.0);
+        let config = SparsifyConfig {
+            epsilon: 0.5,
+            oversampling: 1.0,
+            seed: 1,
+        };
+        let s = sparsify(&g, &config);
+        assert!(
+            s.graph.num_edges() < g.num_edges() / 2,
+            "expected fewer than half of {} edges, got {}",
+            g.num_edges(),
+            s.graph.num_edges()
+        );
+        assert!(s.graph.is_connected());
+    }
+
+    #[test]
+    fn cuts_preserved_on_small_graphs() {
+        let g = gen::complete(10, 1.0);
+        let s = sparsify(
+            &g,
+            &SparsifyConfig {
+                epsilon: 0.25,
+                oversampling: 4.0,
+                seed: 3,
+            },
+        );
+        let (max_ratio, min_ratio) = exhaustive_cut_error(&g, &s.graph);
+        assert!(max_ratio <= 1.6, "max cut inflation {max_ratio} too large");
+        assert!(min_ratio >= 0.4, "min cut deflation {min_ratio} too small");
+    }
+
+    #[test]
+    fn total_capacity_preserved_in_expectation() {
+        // Averaged over seeds, the re-weighted total capacity should be close
+        // to the original.
+        let g = gen::random_gnp(40, 0.4, (1.0, 5.0), 5);
+        let original = g.total_capacity();
+        let mut total = 0.0;
+        let runs = 10;
+        for seed in 0..runs {
+            let s = sparsify(
+                &g,
+                &SparsifyConfig {
+                    epsilon: 0.5,
+                    oversampling: 2.0,
+                    seed,
+                },
+            );
+            total += s.graph.total_capacity();
+        }
+        let avg = total / runs as f64;
+        assert!(
+            (avg - original).abs() / original < 0.25,
+            "expected ~{original}, measured average {avg}"
+        );
+    }
+
+    #[test]
+    fn congest_cost_scales_with_depth_and_n() {
+        let small = congest_cost(100, 10);
+        let large = congest_cost(10_000, 10);
+        assert!(large.rounds > small.rounds);
+        let deep = congest_cost(100, 1000);
+        assert!(deep.rounds > small.rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_panics() {
+        let g = gen::path(4, 1.0);
+        let _ = sparsify(
+            &g,
+            &SparsifyConfig {
+                epsilon: 1.5,
+                oversampling: 1.0,
+                seed: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! Distributed cluster graphs (Definition 5.1) and the simulation lemma
+//! (Lemma 5.1).
+//!
+//! Higher levels of the congestion-approximator recursion operate on *cluster
+//! graphs*: the nodes of the network are partitioned into clusters, each
+//! cluster has a leader and a low-depth spanning tree, and edges between
+//! clusters are realized by actual graph edges (the mapping ψ). A round of a
+//! cluster-level algorithm is simulated on the network graph by
+//!
+//! 1. broadcasting each cluster's outgoing message inside the cluster
+//!    (small clusters use their own spanning tree; the ≤ √n large clusters
+//!    pipeline over a global BFS tree),
+//! 2. exchanging messages over the realizing edges (1 round), and
+//! 3. aggregating the incoming messages back to the leaders (again small
+//!    clusters internally, large clusters over the BFS tree).
+//!
+//! [`ClusterGraph::simulation_round_cost`] charges exactly these phases with
+//! parameters measured on the actual instance, which is the Lemma 5.1 bound
+//! `O(D + √n)` per simulated round.
+
+use flowgraph::contract::ContractedGraph;
+use flowgraph::{EdgeId, Graph, NodeId, RootedTree};
+
+use crate::cost::RoundCost;
+
+/// A distributed cluster graph per Definition 5.1 of the paper.
+#[derive(Debug, Clone)]
+pub struct ClusterGraph {
+    /// Cluster label of every network node (dense in `0..num_clusters`).
+    pub cluster_of: Vec<usize>,
+    /// The leader (cluster ID holder) of every cluster — the minimum node id.
+    pub leaders: Vec<NodeId>,
+    /// Members of every cluster.
+    pub members: Vec<Vec<NodeId>>,
+    /// Depth of every cluster's internal BFS spanning tree.
+    pub cluster_depths: Vec<usize>,
+    /// The contracted multigraph between clusters; every edge remembers the
+    /// realizing network edge (the mapping ψ of Definition 5.1).
+    pub contracted: ContractedGraph,
+}
+
+impl ClusterGraph {
+    /// Builds a cluster graph from a dense partition labelling. Each cluster
+    /// must induce a connected subgraph (condition III of Definition 5.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labelling is not dense, or some cluster induces a
+    /// disconnected subgraph.
+    pub fn from_partition(g: &Graph, cluster_of: &[usize]) -> Self {
+        let contracted = ContractedGraph::new(g, cluster_of);
+        let num_clusters = contracted.num_clusters();
+        let mut leaders = Vec::with_capacity(num_clusters);
+        let mut cluster_depths = Vec::with_capacity(num_clusters);
+        for members in &contracted.members {
+            let leader = *members.iter().min().expect("clusters are non-empty");
+            leaders.push(leader);
+            cluster_depths.push(Self::internal_bfs_depth(g, cluster_of, members, leader));
+        }
+        ClusterGraph {
+            cluster_of: cluster_of.to_vec(),
+            leaders,
+            members: contracted.members.clone(),
+            cluster_depths,
+            contracted,
+        }
+    }
+
+    /// The trivial cluster graph in which every node is its own cluster
+    /// (level 0 of the recursion in Theorem 8.10).
+    pub fn singletons(g: &Graph) -> Self {
+        let labels: Vec<usize> = (0..g.num_nodes()).collect();
+        Self::from_partition(g, &labels)
+    }
+
+    /// Builds the cluster graph whose clusters are the components of the
+    /// forest `T \ cut`, where `cut[v]` marks the parent edge of `v` as
+    /// removed — the shape produced by the j-tree construction (§8.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is not a spanning tree of `g`.
+    pub fn from_tree_components(g: &Graph, tree: &RootedTree, cut: &[bool]) -> Self {
+        assert_eq!(cut.len(), g.num_nodes(), "cut indicator length mismatch");
+        let mut label = vec![usize::MAX; g.num_nodes()];
+        let mut next = 0usize;
+        for &v in tree.preorder() {
+            if tree.parent(v).is_none() || cut[v.index()] {
+                label[v.index()] = next;
+                next += 1;
+            } else {
+                let p = tree.parent(v).expect("non-root has parent");
+                label[v.index()] = label[p.index()];
+            }
+        }
+        Self::from_partition(g, &label)
+    }
+
+    fn internal_bfs_depth(
+        g: &Graph,
+        cluster_of: &[usize],
+        members: &[NodeId],
+        leader: NodeId,
+    ) -> usize {
+        let target = cluster_of[leader.index()];
+        let mut depth = std::collections::HashMap::new();
+        depth.insert(leader, 0usize);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(leader);
+        let mut max_depth = 0usize;
+        while let Some(u) = queue.pop_front() {
+            let du = depth[&u];
+            for (_, w) in g.neighbors(u) {
+                if cluster_of[w.index()] == target && !depth.contains_key(&w) {
+                    depth.insert(w, du + 1);
+                    max_depth = max_depth.max(du + 1);
+                    queue.push_back(w);
+                }
+            }
+        }
+        assert_eq!(
+            depth.len(),
+            members.len(),
+            "cluster {target} does not induce a connected subgraph"
+        );
+        max_depth
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.leaders.len()
+    }
+
+    /// Number of nodes of the underlying network.
+    pub fn num_network_nodes(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// The cluster containing network node `v`.
+    pub fn cluster(&self, v: NodeId) -> usize {
+        self.cluster_of[v.index()]
+    }
+
+    /// The cluster multigraph (nodes = clusters, edges = inter-cluster edges
+    /// with capacities inherited from the realizing edges).
+    pub fn cluster_multigraph(&self) -> &Graph {
+        &self.contracted.graph
+    }
+
+    /// The realizing network edge of cluster edge `e` (the mapping ψ).
+    pub fn realize(&self, e: EdgeId) -> EdgeId {
+        self.contracted.realize(e)
+    }
+
+    /// Maximum depth of any cluster's internal spanning tree.
+    pub fn max_cluster_depth(&self) -> usize {
+        self.cluster_depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of "large" clusters (more than √n members), which must be
+    /// handled via the global BFS tree in Lemma 5.1.
+    pub fn num_large_clusters(&self) -> usize {
+        let threshold = (self.num_network_nodes() as f64).sqrt();
+        self.members
+            .iter()
+            .filter(|m| m.len() as f64 > threshold)
+            .count()
+    }
+
+    /// Cost of simulating one round of a cluster-level CONGEST algorithm on
+    /// the network graph (Lemma 5.1), with every parameter measured on the
+    /// actual instance:
+    ///
+    /// * broadcast inside small clusters: `max depth of a small cluster`,
+    /// * pipeline the ≤ √n large-cluster messages over the BFS tree:
+    ///   `depth(BFS) + #large clusters`,
+    /// * 1 round for the actual inter-cluster message exchange,
+    /// * the mirror-image aggregation phase.
+    pub fn simulation_round_cost(&self, bfs_tree: &RootedTree) -> RoundCost {
+        let threshold = (self.num_network_nodes() as f64).sqrt();
+        let small_depth = self
+            .members
+            .iter()
+            .zip(&self.cluster_depths)
+            .filter(|(m, _)| m.len() as f64 <= threshold)
+            .map(|(_, &d)| d)
+            .max()
+            .unwrap_or(0) as u64;
+        let large = self.num_large_clusters() as u64;
+        let bfs_depth = bfs_tree.max_depth() as u64;
+        let one_direction = small_depth + bfs_depth + large;
+        RoundCost::rounds(2 * one_direction + 1)
+    }
+
+    /// Cost of simulating `t` rounds of a cluster-level algorithm
+    /// (Lemma 5.1: `O((D + √n)·t)`).
+    pub fn simulation_cost(&self, bfs_tree: &RootedTree, t: u64) -> RoundCost {
+        self.simulation_round_cost(bfs_tree).repeat(t)
+    }
+
+    /// Aggregates per-node values to per-cluster sums at the leaders
+    /// (convergecast on each cluster tree, all clusters in parallel). Returns
+    /// the per-cluster sums and the cost (`max cluster depth` rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` does not match the network size.
+    pub fn aggregate_to_leaders(&self, values: &[f64]) -> (Vec<f64>, RoundCost) {
+        assert_eq!(values.len(), self.num_network_nodes(), "value vector length mismatch");
+        let sums = self.contracted.aggregate_node_values(values);
+        (sums, RoundCost::rounds(self.max_cluster_depth() as u64))
+    }
+
+    /// Broadcasts one value per cluster from the leaders to all members
+    /// (broadcast on each cluster tree, all clusters in parallel). Returns
+    /// the per-node values and the cost (`max cluster depth` rounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_values.len()` does not match the cluster count.
+    pub fn broadcast_from_leaders(&self, cluster_values: &[f64]) -> (Vec<f64>, RoundCost) {
+        assert_eq!(
+            cluster_values.len(),
+            self.num_clusters(),
+            "cluster value vector length mismatch"
+        );
+        let per_node = self
+            .cluster_of
+            .iter()
+            .map(|&c| cluster_values[c])
+            .collect();
+        (per_node, RoundCost::rounds(self.max_cluster_depth() as u64))
+    }
+
+    /// Refines this cluster graph: interprets `coarser_of` as a partition of
+    /// the *clusters* and returns the cluster graph over the network whose
+    /// clusters are unions of the current ones (used when recursing: a
+    /// cluster graph on `G_{i-1}` is also a cluster graph on `G`,
+    /// Theorem 8.10).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coarser_of.len()` does not match the current cluster count
+    /// or if a merged cluster does not induce a connected subgraph of the
+    /// network graph.
+    pub fn coarsen(&self, g: &Graph, coarser_of: &[usize]) -> ClusterGraph {
+        assert_eq!(
+            coarser_of.len(),
+            self.num_clusters(),
+            "coarser labelling must cover every current cluster"
+        );
+        let labels: Vec<usize> = self
+            .cluster_of
+            .iter()
+            .map(|&c| coarser_of[c])
+            .collect();
+        ClusterGraph::from_partition(g, &labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::build_bfs_tree;
+    use crate::Network;
+    use flowgraph::{gen, spanning};
+
+    #[test]
+    fn singleton_clusters() {
+        let g = gen::grid(3, 3, 1.0);
+        let c = ClusterGraph::singletons(&g);
+        assert_eq!(c.num_clusters(), 9);
+        assert_eq!(c.max_cluster_depth(), 0);
+        assert_eq!(c.cluster_multigraph().num_edges(), g.num_edges());
+        assert_eq!(c.num_large_clusters(), 0);
+    }
+
+    #[test]
+    fn partition_into_rows() {
+        let g = gen::grid(3, 4, 1.0);
+        // Cluster = row index.
+        let labels: Vec<usize> = (0..12).map(|v| v / 4).collect();
+        let c = ClusterGraph::from_partition(&g, &labels);
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.members[0].len(), 4);
+        // Rows are paths of 4 nodes, leader is the left end -> depth 3.
+        assert_eq!(c.max_cluster_depth(), 3);
+        // Inter-cluster edges: 4 between consecutive rows, 8 total.
+        assert_eq!(c.cluster_multigraph().num_edges(), 8);
+        // Every cluster edge is realized by a network edge between the right clusters.
+        for (e, edge) in c.cluster_multigraph().edges() {
+            let real = c.realize(e);
+            let real_edge = g.edge(real);
+            let cu = c.cluster(real_edge.tail);
+            let cv = c.cluster(real_edge.head);
+            let want = (edge.tail.index(), edge.head.index());
+            assert!(
+                (cu, cv) == want || (cv, cu) == want,
+                "realizing edge connects the wrong clusters"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregation_and_broadcast() {
+        let g = gen::grid(3, 4, 1.0);
+        let labels: Vec<usize> = (0..12).map(|v| v / 4).collect();
+        let c = ClusterGraph::from_partition(&g, &labels);
+        let values: Vec<f64> = (0..12).map(|v| v as f64).collect();
+        let (sums, cost) = c.aggregate_to_leaders(&values);
+        assert_eq!(sums, vec![0.0 + 1.0 + 2.0 + 3.0, 4.0 + 5.0 + 6.0 + 7.0, 8.0 + 9.0 + 10.0 + 11.0]);
+        assert_eq!(cost.rounds, 3);
+        let (per_node, _) = c.broadcast_from_leaders(&sums);
+        assert_eq!(per_node[0], 6.0);
+        assert_eq!(per_node[11], 38.0);
+    }
+
+    #[test]
+    fn simulation_cost_is_d_plus_sqrt_n_per_round() {
+        let g = gen::grid(6, 6, 1.0);
+        let network = Network::new(g.clone());
+        let bfs = build_bfs_tree(&network, NodeId(0)).tree;
+        let labels: Vec<usize> = (0..36).map(|v| v / 6).collect();
+        let c = ClusterGraph::from_partition(&g, &labels);
+        let per_round = c.simulation_round_cost(&bfs);
+        // Each phase is bounded by cluster depth (5) + BFS depth (10) + #large clusters (0).
+        assert!(per_round.rounds <= 2 * (5 + 10) + 1);
+        let ten = c.simulation_cost(&bfs, 10);
+        assert_eq!(ten.rounds, per_round.rounds * 10);
+    }
+
+    #[test]
+    fn tree_component_clusters() {
+        let g = gen::path(8, 1.0);
+        let tree = spanning::bfs_tree(&g, NodeId(0)).unwrap();
+        // Cut the parent edges of nodes 3 and 6 -> components {0,1,2}, {3,4,5}, {6,7}.
+        let mut cut = vec![false; 8];
+        cut[3] = true;
+        cut[6] = true;
+        let c = ClusterGraph::from_tree_components(&g, &tree, &cut);
+        assert_eq!(c.num_clusters(), 3);
+        assert_eq!(c.members[c.cluster(NodeId(4))].len(), 3);
+        assert_eq!(c.members[c.cluster(NodeId(7))].len(), 2);
+    }
+
+    #[test]
+    fn coarsening_merges_clusters() {
+        let g = gen::grid(3, 4, 1.0);
+        let labels: Vec<usize> = (0..12).map(|v| v / 4).collect();
+        let c = ClusterGraph::from_partition(&g, &labels);
+        // Merge rows 0 and 1.
+        let coarser = vec![0, 0, 1];
+        let merged = c.coarsen(&g, &coarser);
+        assert_eq!(merged.num_clusters(), 2);
+        assert_eq!(merged.members[merged.cluster(NodeId(0))].len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_cluster_panics() {
+        let g = gen::path(4, 1.0);
+        // Cluster {0, 2} is not connected in the path.
+        let labels = vec![0, 1, 0, 1];
+        let _ = ClusterGraph::from_partition(&g, &labels);
+    }
+}

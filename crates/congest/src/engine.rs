@@ -1,0 +1,455 @@
+//! The synchronous CONGEST simulator.
+//!
+//! Algorithms are expressed as [`Protocol`]s: per-node state machines that,
+//! in every round, consume the messages delivered over their incident edges
+//! and emit at most one message per incident edge. The [`Simulator`] executes
+//! all nodes in lock step, enforces the congestion constraint and records a
+//! [`RoundCost`].
+
+use flowgraph::{EdgeId, Graph, NodeId};
+
+use crate::cost::RoundCost;
+
+/// Message types must report their size in `O(log n)`-bit machine words so
+/// the simulator can verify the CONGEST bandwidth constraint.
+pub trait MessageSize {
+    /// Number of `O(log n)`-bit words needed to encode this message.
+    fn words(&self) -> u64 {
+        1
+    }
+}
+
+/// What a node knows locally at the start of an algorithm (paper §1.1:
+/// "Initially, each node only knows its identifier, its incident edges, and
+/// their capacities"). Knowing the total node count `n` and the identifiers
+/// of neighbors is standard (both can be obtained in `O(D)` / 1 rounds).
+#[derive(Debug, Clone)]
+pub struct LocalView {
+    /// This node's identifier.
+    pub node: NodeId,
+    /// Total number of nodes in the network.
+    pub num_nodes: usize,
+    /// Incident edges: `(edge id, neighbor id, capacity)`.
+    pub incident: Vec<(EdgeId, NodeId, f64)>,
+}
+
+impl LocalView {
+    /// The degree of this node.
+    pub fn degree(&self) -> usize {
+        self.incident.len()
+    }
+
+    /// Looks up the neighbor reached through `edge`.
+    pub fn neighbor_via(&self, edge: EdgeId) -> Option<NodeId> {
+        self.incident
+            .iter()
+            .find(|(e, _, _)| *e == edge)
+            .map(|(_, v, _)| *v)
+    }
+}
+
+/// A network topology on which protocols are executed.
+#[derive(Debug, Clone)]
+pub struct Network {
+    graph: Graph,
+    views: Vec<LocalView>,
+}
+
+impl Network {
+    /// Wraps a graph as a CONGEST network.
+    pub fn new(graph: Graph) -> Self {
+        let views = graph
+            .nodes()
+            .map(|v| LocalView {
+                node: v,
+                num_nodes: graph.num_nodes(),
+                incident: graph
+                    .neighbors(v)
+                    .map(|(e, w)| (e, w, graph.capacity(e)))
+                    .collect(),
+            })
+            .collect();
+        Network { graph, views }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// The local view of node `v`.
+    pub fn view(&self, v: NodeId) -> &LocalView {
+        &self.views[v.index()]
+    }
+}
+
+/// A distributed algorithm in the CONGEST model, described as a per-node
+/// state machine.
+pub trait Protocol {
+    /// Message type exchanged over edges.
+    type Msg: Clone + MessageSize;
+    /// Per-node state.
+    type State;
+    /// Per-node output produced at termination.
+    type Output;
+
+    /// Initializes the state of a node and returns the messages it sends in
+    /// the first round.
+    fn init(&self, view: &LocalView) -> (Self::State, Vec<(EdgeId, Self::Msg)>);
+
+    /// Executes one round at a node: `inbox` holds the messages delivered in
+    /// this round (edge they arrived over, payload). Returns the messages to
+    /// send in the next round.
+    fn round(
+        &self,
+        view: &LocalView,
+        state: &mut Self::State,
+        inbox: &[(EdgeId, Self::Msg)],
+        round: u64,
+    ) -> Vec<(EdgeId, Self::Msg)>;
+
+    /// Whether this node has locally terminated (it will still receive
+    /// messages if neighbors keep sending, but a quiescent network with all
+    /// nodes terminated ends the execution).
+    fn is_terminated(&self, state: &Self::State) -> bool;
+
+    /// Extracts the node's output once the execution has ended.
+    fn output(&self, view: &LocalView, state: Self::State) -> Self::Output;
+}
+
+/// Result of executing a protocol.
+#[derive(Debug, Clone)]
+pub struct RunResult<T> {
+    /// Output of every node, indexed by node id.
+    pub outputs: Vec<T>,
+    /// Rounds and messages used.
+    pub cost: RoundCost,
+    /// Whether the protocol reached quiescence (as opposed to the round cap).
+    pub quiescent: bool,
+}
+
+/// Error produced when a protocol violates the model or fails to terminate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimulationError {
+    /// A node attempted to send two messages over the same edge in one round.
+    DuplicateSend {
+        /// The offending node.
+        node: NodeId,
+        /// The edge on which two messages were queued.
+        edge: EdgeId,
+    },
+    /// A node attempted to send over an edge that is not incident to it.
+    NotIncident {
+        /// The offending node.
+        node: NodeId,
+        /// The edge in question.
+        edge: EdgeId,
+    },
+    /// The protocol did not reach quiescence within the round cap.
+    RoundLimitExceeded {
+        /// The configured cap.
+        max_rounds: u64,
+    },
+}
+
+impl std::fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimulationError::DuplicateSend { node, edge } => {
+                write!(f, "node {node} sent two messages over edge {edge} in one round")
+            }
+            SimulationError::NotIncident { node, edge } => {
+                write!(f, "node {node} attempted to send over non-incident edge {edge}")
+            }
+            SimulationError::RoundLimitExceeded { max_rounds } => {
+                write!(f, "protocol did not terminate within {max_rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// Executes [`Protocol`]s on a [`Network`].
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    max_rounds: u64,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Simulator {
+            max_rounds: 1_000_000,
+        }
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with the default round cap (10^6).
+    pub fn new() -> Self {
+        Simulator::default()
+    }
+
+    /// Sets the maximum number of rounds before the execution is aborted.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Runs `protocol` on `network` until quiescence (no messages in flight
+    /// and every node locally terminated) or until the round cap is hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimulationError`] if the protocol violates the CONGEST
+    /// sending rules or exceeds the round cap.
+    pub fn run<P: Protocol>(
+        &self,
+        network: &Network,
+        protocol: &P,
+    ) -> Result<RunResult<P::Output>, SimulationError> {
+        let n = network.num_nodes();
+        let mut states = Vec::with_capacity(n);
+        let mut outboxes: Vec<Vec<(EdgeId, P::Msg)>> = Vec::with_capacity(n);
+        let mut cost = RoundCost::ZERO;
+
+        for v in network.graph().nodes() {
+            let (state, msgs) = protocol.init(network.view(v));
+            Self::validate_sends(network, v, &msgs)?;
+            states.push(state);
+            outboxes.push(msgs);
+        }
+
+        let mut round: u64 = 0;
+        loop {
+            let in_flight: usize = outboxes.iter().map(Vec::len).sum();
+            let all_done = states.iter().all(|s| protocol.is_terminated(s));
+            if in_flight == 0 && all_done {
+                break;
+            }
+            if round >= self.max_rounds {
+                return Err(SimulationError::RoundLimitExceeded {
+                    max_rounds: self.max_rounds,
+                });
+            }
+            round += 1;
+
+            // Deliver: build per-node inboxes from the outboxes.
+            let mut inboxes: Vec<Vec<(EdgeId, P::Msg)>> = vec![Vec::new(); n];
+            for (sender, outbox) in outboxes.iter_mut().enumerate() {
+                for (edge, msg) in outbox.drain(..) {
+                    cost.messages += 1;
+                    cost.max_message_words = cost.max_message_words.max(msg.words());
+                    let e = network.graph().edge(edge);
+                    let receiver = e.other(NodeId(sender as u32));
+                    inboxes[receiver.index()].push((edge, msg));
+                }
+            }
+
+            // Execute the round at every node.
+            for v in network.graph().nodes() {
+                let msgs = protocol.round(
+                    network.view(v),
+                    &mut states[v.index()],
+                    &inboxes[v.index()],
+                    round,
+                );
+                Self::validate_sends(network, v, &msgs)?;
+                outboxes[v.index()] = msgs;
+            }
+        }
+        cost.rounds = round;
+
+        let outputs = network
+            .graph()
+            .nodes()
+            .zip(states)
+            .map(|(v, s)| protocol.output(network.view(v), s))
+            .collect();
+        Ok(RunResult {
+            outputs,
+            cost,
+            quiescent: true,
+        })
+    }
+
+    fn validate_sends<M>(
+        network: &Network,
+        node: NodeId,
+        msgs: &[(EdgeId, M)],
+    ) -> Result<(), SimulationError> {
+        let mut seen = std::collections::HashSet::new();
+        for (edge, _) in msgs {
+            if !network
+                .graph()
+                .get_edge(*edge)
+                .map(|e| e.is_incident(node))
+                .unwrap_or(false)
+            {
+                return Err(SimulationError::NotIncident { node, edge: *edge });
+            }
+            if !seen.insert(*edge) {
+                return Err(SimulationError::DuplicateSend { node, edge: *edge });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgraph::gen;
+
+    /// A toy protocol: every node floods the smallest identifier it has seen;
+    /// used to exercise the engine itself.
+    struct MinIdFlood;
+
+    #[derive(Clone, Debug)]
+    struct MinMsg(u32);
+
+    impl MessageSize for MinMsg {}
+
+    struct MinState {
+        best: u32,
+        announced: u32,
+    }
+
+    impl Protocol for MinIdFlood {
+        type Msg = MinMsg;
+        type State = MinState;
+        type Output = u32;
+
+        fn init(&self, view: &LocalView) -> (Self::State, Vec<(EdgeId, Self::Msg)>) {
+            let msgs = view
+                .incident
+                .iter()
+                .map(|(e, _, _)| (*e, MinMsg(view.node.0)))
+                .collect();
+            (
+                MinState {
+                    best: view.node.0,
+                    announced: view.node.0,
+                },
+                msgs,
+            )
+        }
+
+        fn round(
+            &self,
+            view: &LocalView,
+            state: &mut Self::State,
+            inbox: &[(EdgeId, Self::Msg)],
+            _round: u64,
+        ) -> Vec<(EdgeId, Self::Msg)> {
+            for (_, MinMsg(id)) in inbox {
+                state.best = state.best.min(*id);
+            }
+            if state.best < state.announced {
+                state.announced = state.best;
+                view.incident
+                    .iter()
+                    .map(|(e, _, _)| (*e, MinMsg(state.best)))
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn is_terminated(&self, _state: &Self::State) -> bool {
+            true
+        }
+
+        fn output(&self, _view: &LocalView, state: Self::State) -> Self::Output {
+            state.best
+        }
+    }
+
+    #[test]
+    fn min_id_flood_converges_in_diameter_rounds() {
+        let g = gen::path(10, 1.0);
+        let network = Network::new(g);
+        let result = Simulator::new().run(&network, &MinIdFlood).unwrap();
+        assert!(result.outputs.iter().all(|&b| b == 0));
+        assert!(result.quiescent);
+        // Information must travel 9 hops; allow a couple of extra quiescence rounds.
+        assert!(result.cost.rounds >= 9 && result.cost.rounds <= 12);
+        assert!(result.cost.messages > 0);
+        assert_eq!(result.cost.max_message_words, 1);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let g = gen::path(10, 1.0);
+        let network = Network::new(g);
+        let err = Simulator::new()
+            .with_max_rounds(2)
+            .run(&network, &MinIdFlood)
+            .unwrap_err();
+        assert!(matches!(err, SimulationError::RoundLimitExceeded { .. }));
+    }
+
+    /// A protocol that illegally sends two messages over the same edge.
+    struct Misbehaving;
+
+    impl Protocol for Misbehaving {
+        type Msg = MinMsg;
+        type State = ();
+        type Output = ();
+
+        fn init(&self, view: &LocalView) -> (Self::State, Vec<(EdgeId, Self::Msg)>) {
+            let mut msgs = Vec::new();
+            if let Some((e, _, _)) = view.incident.first() {
+                msgs.push((*e, MinMsg(0)));
+                msgs.push((*e, MinMsg(1)));
+            }
+            ((), msgs)
+        }
+
+        fn round(
+            &self,
+            _view: &LocalView,
+            _state: &mut Self::State,
+            _inbox: &[(EdgeId, Self::Msg)],
+            _round: u64,
+        ) -> Vec<(EdgeId, Self::Msg)> {
+            Vec::new()
+        }
+
+        fn is_terminated(&self, _state: &Self::State) -> bool {
+            true
+        }
+
+        fn output(&self, _view: &LocalView, _state: Self::State) -> Self::Output {}
+    }
+
+    #[test]
+    fn duplicate_sends_are_rejected() {
+        let g = gen::path(3, 1.0);
+        let network = Network::new(g);
+        let err = Simulator::new().run(&network, &Misbehaving).unwrap_err();
+        assert!(matches!(err, SimulationError::DuplicateSend { .. }));
+    }
+
+    #[test]
+    fn local_view_contents() {
+        let g = gen::star(4, 2.0);
+        let network = Network::new(g);
+        let hub = network.view(NodeId(0));
+        assert_eq!(hub.degree(), 3);
+        assert_eq!(hub.num_nodes, 4);
+        let leaf = network.view(NodeId(2));
+        assert_eq!(leaf.degree(), 1);
+        let (e, nb, cap) = leaf.incident[0];
+        assert_eq!(nb, NodeId(0));
+        assert_eq!(cap, 2.0);
+        assert_eq!(leaf.neighbor_via(e), Some(NodeId(0)));
+        assert_eq!(leaf.neighbor_via(EdgeId(999)), None);
+    }
+}

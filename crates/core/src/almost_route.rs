@@ -1,0 +1,368 @@
+//! Sherman's `AlmostRoute` gradient descent (paper §9.1, Algorithm 2).
+//!
+//! Given a demand vector `b` and a congestion approximator `R`, the routine
+//! minimizes the smoothed potential
+//!
+//! ```text
+//! φ(f) = smax(C⁻¹ f) + smax(2α · R(b − Bf))
+//! ```
+//!
+//! where `smax(y) = ln Σ_i (e^{y_i} + e^{-y_i})` is the soft-max. The first
+//! term penalizes edge congestion, the second penalizes unrouted demand as
+//! seen through the cuts of the approximator. Each iteration takes a signed
+//! step proportional to the edge capacity, exactly as in Algorithm 2; the
+//! result is a flow that approximately routes `b` with near-optimal
+//! congestion, leaving a small residual that the caller repairs over a
+//! spanning tree (Algorithm 1).
+
+use capprox::CongestionApproximator;
+use flowgraph::{Demand, FlowVec, Graph};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the gradient descent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AlmostRouteConfig {
+    /// Target accuracy ε of the routing step.
+    pub epsilon: f64,
+    /// The approximation quality α assumed for the congestion approximator.
+    /// `None` uses the approximator's provable bound.
+    pub alpha: Option<f64>,
+    /// Hard cap on the number of gradient iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for AlmostRouteConfig {
+    fn default() -> Self {
+        AlmostRouteConfig {
+            epsilon: 0.5,
+            alpha: None,
+            max_iterations: 20_000,
+        }
+    }
+}
+
+/// Outcome of one `AlmostRoute` call.
+#[derive(Debug, Clone)]
+pub struct AlmostRouteResult {
+    /// The computed flow (in the *original* demand scale).
+    pub flow: FlowVec,
+    /// Number of gradient iterations performed.
+    pub iterations: usize,
+    /// Number of potential-rescaling steps (the `17/16` loop of Algorithm 2).
+    pub scaling_steps: usize,
+    /// Final value of the potential (in the working scale).
+    pub final_potential: f64,
+    /// Whether the iteration cap was hit before `δ < ε/4`.
+    pub hit_iteration_cap: bool,
+}
+
+/// Numerically stable soft-max `ln Σ_i (e^{y_i} + e^{-y_i})`.
+pub fn smax(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = values.iter().fold(0.0f64, |acc, &y| acc.max(y.abs()));
+    let sum: f64 = values
+        .iter()
+        .map(|&y| (y - m).exp() + (-y - m).exp())
+        .sum();
+    m + sum.ln()
+}
+
+/// The normalized soft-max gradient weights
+/// `(e^{y_i} − e^{-y_i}) / Σ_j (e^{y_j} + e^{-y_j})`, computed stably given
+/// `smax_value = smax(values)`.
+pub fn smax_weights(values: &[f64], smax_value: f64) -> Vec<f64> {
+    values
+        .iter()
+        .map(|&y| (y - smax_value).exp() - (-y - smax_value).exp())
+        .collect()
+}
+
+/// Runs Algorithm 2 for the demand `b` on graph `g` with congestion
+/// approximator `r`.
+///
+/// The returned flow is expressed in the scale of the input demand; it
+/// approximately satisfies `Bf ≈ b` with near-optimal congestion. The
+/// residual `b − Bf` is small relative to `‖b‖` and is intended to be routed
+/// over a spanning tree by the caller (Algorithm 1, steps 5–6).
+///
+/// # Panics
+///
+/// Panics if `b` does not match the graph's node count.
+pub fn almost_route(
+    g: &Graph,
+    r: &CongestionApproximator,
+    b: &Demand,
+    config: &AlmostRouteConfig,
+) -> AlmostRouteResult {
+    assert_eq!(b.len(), g.num_nodes(), "demand length mismatch");
+    let n = g.num_nodes().max(2) as f64;
+    let m = g.num_edges();
+    let eps = config.epsilon.clamp(1e-3, 1.0);
+    // Practical default: the provable bound clamped to a small constant.
+    // Sherman's analysis wants a valid upper bound on the approximator
+    // quality, but large α values slow the descent quadratically; the
+    // top-level solver certifies the final quality independently (the
+    // value/upper-bound bracket), so a smaller working α is safe and the
+    // experiments report the measured quality. Pass `alpha` explicitly to
+    // use the theoretical schedule.
+    let alpha = config
+        .alpha
+        .unwrap_or_else(|| r.provable_alpha().clamp(1.0, 6.0))
+        .max(1.0);
+
+    // Degenerate cases: zero demand or an edgeless graph.
+    let base_norm = r.congestion_lower_bound(b);
+    if base_norm <= 0.0 || m == 0 {
+        return AlmostRouteResult {
+            flow: FlowVec::zeros(m),
+            iterations: 0,
+            scaling_steps: 0,
+            final_potential: 0.0,
+            hit_iteration_cap: false,
+        };
+    }
+
+    // Line 1 of Algorithm 2: scale the demand so that the congestion term of
+    // the potential starts at Θ(ε⁻¹ log n).
+    let target = 16.0 * n.ln() / eps;
+    let kb = target / (2.0 * alpha * base_norm);
+    let mut b_work = b.clone();
+    b_work.scale(kb);
+    let mut total_scale = kb;
+
+    let mut f = FlowVec::zeros(m);
+    let mut iterations = 0usize;
+    let mut scaling_steps = 0usize;
+    #[allow(unused_assignments)]
+    let mut potential = 0.0;
+    let mut hit_cap = false;
+
+    loop {
+        // Evaluate the potential and its gradient.
+        let (phi, grad) = potential_and_gradient(g, r, &b_work, &f, alpha);
+        potential = phi;
+
+        // Lines 4–5: while φ(f) < 16 ε⁻¹ log n, scale f and b up by 17/16.
+        if phi < target && scaling_steps < 10_000 {
+            f.scale(17.0 / 16.0);
+            b_work.scale(17.0 / 16.0);
+            total_scale *= 17.0 / 16.0;
+            scaling_steps += 1;
+            continue;
+        }
+
+        // Line 6: δ = Σ_e |cap(e) · ∂φ/∂f_e|.
+        let delta: f64 = g
+            .edge_ids()
+            .map(|e| (g.capacity(e) * grad[e.index()]).abs())
+            .sum();
+
+        if delta < eps / 4.0 {
+            break;
+        }
+        if iterations >= config.max_iterations {
+            hit_cap = true;
+            break;
+        }
+
+        // Line 8: f_e ← f_e − sgn(∂φ/∂f_e) · cap(e) · δ / (1 + 4α²).
+        let step = delta / (1.0 + 4.0 * alpha * alpha);
+        for e in g.edge_ids() {
+            let gd = grad[e.index()];
+            if gd != 0.0 {
+                f.add(e, -gd.signum() * g.capacity(e) * step);
+            }
+        }
+        iterations += 1;
+    }
+
+    // Lines 10–11: undo the scaling so the flow matches the original demand.
+    f.scale(1.0 / total_scale);
+    AlmostRouteResult {
+        flow: f,
+        iterations,
+        scaling_steps,
+        final_potential: potential,
+        hit_iteration_cap: hit_cap,
+    }
+}
+
+/// Evaluates `φ(f)` and `∂φ/∂f` for the working demand `b`.
+///
+/// The second term's gradient is computed through node potentials, exactly as
+/// in §9.1: prices on the tree cuts (one per row of `R`) are pushed down the
+/// trees by `Rᵀ`, and `∂φ₂/∂f_e = π_u − π_v` for the edge `e = (u, v)`.
+pub fn potential_and_gradient(
+    g: &Graph,
+    r: &CongestionApproximator,
+    b: &Demand,
+    f: &FlowVec,
+    alpha: f64,
+) -> (f64, Vec<f64>) {
+    // φ1 = smax(C⁻¹ f).
+    let scaled_flow: Vec<f64> = g
+        .edge_ids()
+        .map(|e| f.get(e) / g.capacity(e))
+        .collect();
+    let phi1 = smax(&scaled_flow);
+    let w1 = smax_weights(&scaled_flow, phi1);
+
+    // φ2 = smax(2α R (b − Bf)).
+    let residual = b.residual(g, f);
+    let rows = r.apply(&residual);
+    let y: Vec<f64> = rows.iter().map(|x| 2.0 * alpha * x).collect();
+    let phi2 = smax(&y);
+    let w2 = smax_weights(&y, phi2);
+    // Prices per row: q_i · 2α (the 1/cap_i factor is applied inside Rᵀ).
+    let prices: Vec<f64> = w2.iter().map(|q| q * 2.0 * alpha).collect();
+    let potentials = r.apply_transpose(&prices);
+
+    let mut grad = vec![0.0; g.num_edges()];
+    for (id, e) in g.edges() {
+        let g1 = w1[id.index()] / g.capacity(id);
+        // Increasing f_e moves one unit of excess from tail to head, so the
+        // residual (b − Bf) decreases at the head and increases at the tail;
+        // differentiating the second soft-max yields π_tail − π_head.
+        let g2 = potentials[e.tail.index()] - potentials[e.head.index()];
+        grad[id.index()] = g1 + g2;
+    }
+    (phi1 + phi2, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capprox::RackeConfig;
+    use flowgraph::{gen, NodeId};
+
+    fn approximator(g: &Graph, trees: usize) -> CongestionApproximator {
+        CongestionApproximator::build(g, &RackeConfig::default().with_num_trees(trees)).unwrap()
+    }
+
+    #[test]
+    fn smax_matches_direct_computation() {
+        let y = [0.5, -1.0, 2.0];
+        let direct: f64 = y.iter().map(|&v: &f64| v.exp() + (-v).exp()).sum::<f64>().ln();
+        assert!((smax(&y) - direct).abs() < 1e-12);
+        assert_eq!(smax(&[]), 0.0);
+        // Stability for large values.
+        let big = [500.0, -600.0];
+        assert!(smax(&big).is_finite());
+        assert!((smax(&big) - 600.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn smax_upper_bounds_max() {
+        let y: [f64; 4] = [0.3, -2.5, 1.1, 0.0];
+        let max_abs = y.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        let s = smax(&y);
+        assert!(s >= max_abs);
+        assert!(s <= max_abs + (2.0 * y.len() as f64).ln());
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let g = gen::grid(3, 3, 1.0);
+        let r = approximator(&g, 3);
+        let b = Demand::st(&g, NodeId(0), NodeId(8), 1.0);
+        let mut f = FlowVec::zeros(g.num_edges());
+        // A non-trivial starting point.
+        for e in g.edge_ids() {
+            f.set(e, 0.1 * (e.index() as f64 % 3.0) - 0.1);
+        }
+        let alpha = 4.0;
+        let (phi, grad) = potential_and_gradient(&g, &r, &b, &f, alpha);
+        let h = 1e-6;
+        for e in g.edge_ids() {
+            let mut f2 = f.clone();
+            f2.add(e, h);
+            let (phi2, _) = potential_and_gradient(&g, &r, &b, &f2, alpha);
+            let numeric = (phi2 - phi) / h;
+            assert!(
+                (numeric - grad[e.index()]).abs() < 1e-3 * (1.0 + numeric.abs()),
+                "gradient mismatch at edge {e}: analytic {} vs numeric {numeric}",
+                grad[e.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn almost_route_reduces_residual() {
+        let g = gen::grid(4, 4, 1.0);
+        let r = approximator(&g, 6);
+        let b = Demand::st(&g, NodeId(0), NodeId(15), 1.0);
+        let result = almost_route(&g, &r, &b, &AlmostRouteConfig::default());
+        assert!(result.iterations > 0);
+        // The residual demand (measured through the approximator) must be
+        // substantially smaller than the original demand.
+        let residual = b.residual(&g, &result.flow);
+        let before = r.congestion_lower_bound(&b);
+        let after = r.congestion_lower_bound(&residual);
+        assert!(
+            after < 0.7 * before,
+            "residual congestion {after} not sufficiently below {before}"
+        );
+    }
+
+    #[test]
+    fn almost_route_zero_demand_is_zero_flow() {
+        let g = gen::path(5, 1.0);
+        let r = approximator(&g, 2);
+        let b = Demand::zeros(5);
+        let result = almost_route(&g, &r, &b, &AlmostRouteConfig::default());
+        assert_eq!(result.iterations, 0);
+        assert!(result.flow.values().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn tighter_epsilon_needs_more_iterations() {
+        let g = gen::grid(4, 4, 1.0);
+        let r = approximator(&g, 6);
+        let b = Demand::st(&g, NodeId(0), NodeId(15), 1.0);
+        let loose = almost_route(
+            &g,
+            &r,
+            &b,
+            &AlmostRouteConfig {
+                epsilon: 0.8,
+                ..Default::default()
+            },
+        );
+        let tight = almost_route(
+            &g,
+            &r,
+            &b,
+            &AlmostRouteConfig {
+                epsilon: 0.2,
+                ..Default::default()
+            },
+        );
+        assert!(
+            tight.iterations >= loose.iterations,
+            "tight ε should need at least as many iterations ({} vs {})",
+            tight.iterations,
+            loose.iterations
+        );
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let g = gen::grid(5, 5, 1.0);
+        let r = approximator(&g, 4);
+        let b = Demand::st(&g, NodeId(0), NodeId(24), 1.0);
+        let result = almost_route(
+            &g,
+            &r,
+            &b,
+            &AlmostRouteConfig {
+                epsilon: 0.05,
+                alpha: Some(8.0),
+                max_iterations: 3,
+            },
+        );
+        assert!(result.iterations <= 3);
+        assert!(result.hit_iteration_cap);
+    }
+}

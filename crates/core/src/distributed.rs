@@ -1,0 +1,301 @@
+//! Distributed execution with CONGEST round accounting (paper §3 and §9).
+//!
+//! The algorithm that runs is exactly the centralized pipeline of
+//! [`crate::solver`]; what this module adds is the *round bill* of executing
+//! it in the CONGEST model, assembled from measured quantities:
+//!
+//! * the BFS tree used for global aggregation is built by the genuine
+//!   message-passing protocol of `congest::primitives` (its depth is the
+//!   measured stand-in for the diameter `D`);
+//! * every virtual tree of the congestion approximator is decomposed into
+//!   `Õ(√n)` low-depth components (Lemma 8.2) and the subtree-sum / downcast
+//!   aggregations that the gradient descent performs on it (§9.1) are
+//!   executed as real message-passing protocols once, giving the measured
+//!   per-iteration cost, which is then multiplied by the number of gradient
+//!   iterations actually performed;
+//! * the construction costs (sparsifier, low-stretch trees, tree
+//!   capacities) are charged per Lemma 5.1 / Lemma 6.1 / Theorem 3.1 with the
+//!   measured BFS depth, `√n`, and the measured number of cluster-level
+//!   decomposition rounds.
+//!
+//! The paper's headline claim — `(D + √n)·n^{o(1)}·ε^{-3}` rounds, far below
+//! the `Θ(n²)` of distributed push–relabel and the `Θ(m)` of centralizing the
+//! input — is what experiments E1/E9 check against this accounting.
+
+use capprox::{build_tree_ensemble, CongestionApproximator};
+use congest::primitives::{build_bfs_tree, pipelined_broadcast_cost};
+use congest::treeops::{distributed_prefix_sums, distributed_subtree_sums, TreeDecomposition};
+use congest::{Network, RoundCost};
+use flowgraph::{Graph, GraphError, NodeId, RootedTree};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::solver::{approx_max_flow_with, MaxFlowConfig, MaxFlowResult};
+
+/// Round costs of the individual phases of the distributed execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundBreakdown {
+    /// Building the global BFS tree (measured protocol run).
+    pub bfs_construction: RoundCost,
+    /// Building the congestion approximator: sparsifier, low-stretch trees,
+    /// tree capacities and tree decompositions.
+    pub approximator_construction: RoundCost,
+    /// One gradient-descent iteration: R·b and Rᵀ·y on every virtual tree
+    /// plus the global scalar aggregations (measured protocol runs).
+    pub per_iteration: RoundCost,
+    /// All gradient-descent iterations.
+    pub gradient_descent: RoundCost,
+    /// Computing the maximum-weight spanning tree and routing the residual
+    /// demand over it (Algorithm 1, steps 5–6).
+    pub repair: RoundCost,
+    /// Grand total.
+    pub total: RoundCost,
+}
+
+/// Result of the distributed approximate max-flow computation.
+#[derive(Debug, Clone)]
+pub struct DistributedMaxFlowResult {
+    /// The flow itself (identical to the centralized result for the same
+    /// seed) together with value and certified upper bound.
+    pub result: MaxFlowResult,
+    /// The CONGEST round bill.
+    pub rounds: RoundBreakdown,
+    /// Depth of the measured BFS tree (a 2-approximation of the diameter D).
+    pub bfs_depth: usize,
+    /// Number of network nodes.
+    pub num_nodes: usize,
+    /// Number of network edges.
+    pub num_edges: usize,
+}
+
+impl DistributedMaxFlowResult {
+    /// The paper's comparison yardstick `D + √n` for this instance.
+    pub fn d_plus_sqrt_n(&self) -> f64 {
+        self.bfs_depth as f64 + (self.num_nodes as f64).sqrt()
+    }
+
+    /// Total rounds divided by `D + √n` (the `n^{o(1)}·ε^{-3}` factor the
+    /// paper leaves on the table; experiment E9 tracks how it grows with n).
+    pub fn overhead_factor(&self) -> f64 {
+        self.rounds.total.rounds as f64 / self.d_plus_sqrt_n().max(1.0)
+    }
+}
+
+/// Runs the full pipeline and returns the flow together with the CONGEST
+/// round accounting.
+///
+/// # Errors
+///
+/// Same error conditions as [`crate::solver::approx_max_flow`].
+pub fn distributed_approx_max_flow(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    config: &MaxFlowConfig,
+) -> Result<DistributedMaxFlowResult, GraphError> {
+    if g.num_nodes() == 0 {
+        return Err(GraphError::Empty);
+    }
+    if !g.is_connected() {
+        return Err(GraphError::NotConnected);
+    }
+    let n = g.num_nodes();
+    let sqrt_n = (n as f64).sqrt().ceil() as u64;
+    let network = Network::new(g.clone());
+
+    // Phase 1: global BFS tree (real protocol).
+    let bfs = build_bfs_tree(&network, s);
+    let bfs_depth = bfs.tree.max_depth();
+    let bfs_cost = bfs.cost;
+
+    // Phase 2: congestion approximator construction.
+    let ensemble = build_tree_ensemble(g, &config.racke)?;
+    let mut construction = capprox::sparsify::congest_cost(n, bfs_depth);
+    // Low-stretch spanning trees: each cluster-level decomposition round is
+    // simulated in O(D + √n) network rounds (Lemma 5.1 / Theorem 3.1).
+    let decomposition_rounds = ensemble.stats.decomposition_rounds as u64;
+    construction.add_sequential(RoundCost::rounds(
+        decomposition_rounds * (bfs_depth as u64 + sqrt_n),
+    ));
+
+    // Tree capacities (Lemma 8.3) and the per-iteration aggregations (§9.1):
+    // run the real decomposed protocols once per tree and remember the cost.
+    let mut rng = ChaCha8Rng::seed_from_u64(config.racke.seed ^ 0x9e3779b97f4a7c15);
+    let cut_probability = TreeDecomposition::recommended_probability(n);
+    let unit_values = vec![1.0; n];
+    let mut per_iteration = RoundCost::ZERO;
+    for cap_tree in &ensemble.trees {
+        let decomposition =
+            TreeDecomposition::sample(&cap_tree.tree, cut_probability, &mut rng);
+        let up = distributed_subtree_sums(
+            &network,
+            &cap_tree.tree,
+            &decomposition,
+            &bfs.tree,
+            &unit_values,
+        );
+        let down = distributed_prefix_sums(
+            &network,
+            &cap_tree.tree,
+            &decomposition,
+            &bfs.tree,
+            &unit_values,
+        );
+        // Computing |f'| / the tree capacities costs one aggregation per tree
+        // during construction (Lemma 8.3).
+        construction.add_sequential(up.cost);
+        // Each gradient iteration needs the y-values (subtree sums) and the
+        // potentials π (downcast) on every tree. The O(log n) trees are
+        // evaluated concurrently (their messages are pipelined over shared
+        // edges exactly like the k-value aggregations of Lemma 5.1), so the
+        // per-iteration round cost is the maximum over trees, not the sum.
+        per_iteration.add_parallel(up.cost.then(down.cost));
+    }
+    // Global scalar aggregations per iteration (φ1, φ2, δ and the step
+    // bookkeeping): a constant number of converge/broadcasts on the BFS tree.
+    per_iteration.add_sequential(pipelined_broadcast_cost(&bfs.tree, 4));
+
+    // Phase 3: the gradient descent itself (centralized execution of the same
+    // arithmetic; the iteration count is what the round bill scales with).
+    let approximator = CongestionApproximator::from_ensemble(ensemble);
+    let result = approx_max_flow_with(g, &approximator, s, t, config)?;
+    let gradient_descent = per_iteration.repeat(result.iterations.max(1) as u64);
+
+    // Phase 4: residual repair — maximum-weight spanning tree (Kutten–Peleg,
+    // Õ(√n + D)) plus one aggregation over it to route the leftover demand
+    // (Lemma 9.1), measured on the actual tree.
+    let logn = (n.max(2) as f64).log2().ceil() as u64;
+    let mut repair = RoundCost::rounds((bfs_depth as u64 + sqrt_n) * logn);
+    let mst = flowgraph::max_weight_spanning_tree(g, NodeId(0))?;
+    let mst_dec = TreeDecomposition::sample(&mst, cut_probability, &mut rng);
+    let mst_route = distributed_subtree_sums(&network, &mst, &mst_dec, &bfs.tree, &unit_values);
+    repair.add_sequential(mst_route.cost);
+
+    let total = bfs_cost
+        .then(construction)
+        .then(gradient_descent)
+        .then(repair);
+    Ok(DistributedMaxFlowResult {
+        result,
+        rounds: RoundBreakdown {
+            bfs_construction: bfs_cost,
+            approximator_construction: construction,
+            per_iteration,
+            gradient_descent,
+            repair,
+            total,
+        },
+        bfs_depth,
+        num_nodes: n,
+        num_edges: g.num_edges(),
+    })
+}
+
+/// Routes a demand over a rooted spanning tree while accounting the CONGEST
+/// cost of doing so with the decomposition technique of Lemma 9.1 (used by
+/// the trivial "single spanning tree" baseline in the experiments).
+///
+/// # Panics
+///
+/// Panics if the tree is not a spanning subtree of the network graph.
+pub fn distributed_tree_routing_cost(
+    g: &Graph,
+    tree: &RootedTree,
+    seed: u64,
+) -> (RoundCost, usize) {
+    let n = g.num_nodes();
+    let network = Network::new(g.clone());
+    let bfs = build_bfs_tree(&network, tree.root());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let dec = TreeDecomposition::sample(tree, TreeDecomposition::recommended_probability(n), &mut rng);
+    let values = vec![1.0; n];
+    let run = distributed_subtree_sums(&network, tree, &dec, &bfs.tree, &values);
+    (bfs.cost.then(run.cost), bfs.tree.max_depth())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capprox::RackeConfig;
+    use flowgraph::gen;
+
+    fn config(trees: usize) -> MaxFlowConfig {
+        MaxFlowConfig {
+            epsilon: 0.3,
+            racke: RackeConfig::default().with_num_trees(trees).with_seed(3),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn produces_same_quality_flow_as_centralized() {
+        let g = gen::grid(5, 5, 1.0);
+        let (s, t) = (NodeId(0), NodeId(24));
+        let dist = distributed_approx_max_flow(&g, s, t, &config(4)).unwrap();
+        dist.result.flow.validate_st_flow(&g, s, t, 1e-6).unwrap();
+        assert!(dist.result.value > 0.0);
+        assert!(dist.result.value <= dist.result.upper_bound + 1e-9);
+    }
+
+    #[test]
+    fn round_breakdown_is_consistent() {
+        let g = gen::grid(5, 5, 1.0);
+        let dist =
+            distributed_approx_max_flow(&g, NodeId(0), NodeId(24), &config(3)).unwrap();
+        let r = &dist.rounds;
+        let summed = r
+            .bfs_construction
+            .then(r.approximator_construction)
+            .then(r.gradient_descent)
+            .then(r.repair);
+        assert_eq!(r.total.rounds, summed.rounds);
+        assert!(r.per_iteration.rounds > 0);
+        assert!(r.gradient_descent.rounds >= r.per_iteration.rounds);
+        assert!(dist.bfs_depth >= 8, "corner BFS on a 5x5 grid has depth 8");
+        assert!(dist.overhead_factor() >= 1.0);
+    }
+
+    #[test]
+    fn per_iteration_cost_is_d_plus_sqrt_n_ish() {
+        // The defining property of the distributed implementation (§9.1):
+        // one gradient iteration costs Õ(D + √n) rounds, NOT Õ(n) — even on a
+        // path, where a naive convergecast over the spanning tree would pay
+        // Θ(n) per iteration.
+        let g = gen::path(200, 1.0);
+        let (s, t) = gen::default_terminals(&g);
+        let cfg = MaxFlowConfig {
+            max_iterations_per_phase: 5,
+            phases: Some(1),
+            ..config(3)
+        };
+        let dist = distributed_approx_max_flow(&g, s, t, &cfg).unwrap();
+        let n = g.num_nodes() as f64;
+        let d = dist.bfs_depth as f64;
+        let budget = 30.0 * (d + n.sqrt()) * (n.log2() + 1.0);
+        assert!(
+            (dist.rounds.per_iteration.rounds as f64) < budget,
+            "per-iteration cost {} exceeds Õ(D + √n) budget {budget}",
+            dist.rounds.per_iteration.rounds
+        );
+    }
+
+    #[test]
+    fn tree_routing_cost_helper_runs() {
+        let g = gen::path(40, 1.0);
+        let tree = flowgraph::spanning::bfs_tree(&g, NodeId(0)).unwrap();
+        let (cost, depth) = distributed_tree_routing_cost(&g, &tree, 1);
+        assert!(cost.rounds > 0);
+        assert_eq!(depth, 39);
+    }
+
+    #[test]
+    fn rejects_disconnected_graphs() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        assert!(matches!(
+            distributed_approx_max_flow(&g, NodeId(0), NodeId(3), &config(2)),
+            Err(GraphError::NotConnected)
+        ));
+    }
+}

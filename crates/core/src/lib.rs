@@ -1,0 +1,45 @@
+//! Near-optimal distributed maximum flow — the primary contribution of
+//! Ghaffari, Karrenbauer, Kuhn, Lenzen and Patt-Shamir,
+//! *Near-Optimal Distributed Maximum Flow* (PODC 2015).
+//!
+//! The crate computes `(1+ε)`-approximate maximum s–t flows on undirected
+//! capacitated graphs using Sherman's congestion-minimization framework over
+//! tree-based congestion approximators, and accounts the CONGEST-model round
+//! complexity of the distributed execution described in the paper
+//! (`(D + √n)·n^{o(1)}·ε^{-3}` rounds, Theorem 1.1).
+//!
+//! * [`almost_route`] — Sherman's gradient descent on the soft-max potential
+//!   (Algorithm 2, §9.1);
+//! * [`solver`] — the top-level reduction from max flow to congestion
+//!   minimization plus residual repair on a spanning tree (Algorithm 1);
+//! * [`distributed`] — execution of the same pipeline with CONGEST round
+//!   accounting driven by the real message-passing primitives of the
+//!   `congest` crate (BFS trees, tree decompositions, subtree aggregations).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use flowgraph::{gen, NodeId};
+//! use maxflow::{approx_max_flow, MaxFlowConfig};
+//!
+//! let g = gen::grid(5, 5, 1.0);
+//! let result = approx_max_flow(&g, NodeId(0), NodeId(24), &MaxFlowConfig::default()).unwrap();
+//! assert!(result.value > 0.0);
+//! assert!(result.value <= result.upper_bound);
+//! // The flow is feasible and conserves at every internal node.
+//! result.flow.validate_st_flow(&g, NodeId(0), NodeId(24), 1e-6).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod almost_route;
+pub mod distributed;
+pub mod solver;
+
+pub use almost_route::{almost_route, AlmostRouteConfig, AlmostRouteResult};
+pub use distributed::{distributed_approx_max_flow, DistributedMaxFlowResult, RoundBreakdown};
+pub use solver::{
+    approx_max_flow, approx_max_flow_with, route_demand, MaxFlowConfig, MaxFlowResult,
+    RoutingResult,
+};

@@ -1,0 +1,404 @@
+//! The top-level max-flow algorithm (paper §9, Algorithm 1).
+//!
+//! Max flow is reduced to congestion minimization: to ship `F` units from `s`
+//! to `t`, route the demand `b = F·(χ_t − χ_s)` with as little edge
+//! congestion as possible. Algorithm 1 calls `AlmostRoute` a logarithmic
+//! number of times on the residual demand (each call halves what is left),
+//! then routes the final residual exactly over a maximum-weight spanning
+//! tree. Scaling the result down by its maximum congestion yields a feasible
+//! flow; choosing `F` to be the smallest cut of the congestion approximator
+//! separating `s` and `t` (a genuine cut of `G`, hence an upper bound on the
+//! max flow) makes the scaled value a `(1+ε)`-approximation.
+
+use capprox::{CongestionApproximator, RackeConfig};
+use flowgraph::{max_weight_spanning_tree, Demand, FlowVec, Graph, GraphError, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::almost_route::{almost_route, AlmostRouteConfig};
+
+/// Configuration for the approximate max-flow solver.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxFlowConfig {
+    /// Target approximation parameter ε.
+    pub epsilon: f64,
+    /// Configuration of the congestion-approximator construction.
+    pub racke: RackeConfig,
+    /// Override for the approximator quality α used by the gradient descent
+    /// (`None` = the approximator's provable bound).
+    pub alpha: Option<f64>,
+    /// Cap on gradient iterations per `AlmostRoute` call.
+    pub max_iterations_per_phase: usize,
+    /// Number of `AlmostRoute` phases (Algorithm 1 uses `log m + 1`; `None`
+    /// selects exactly that).
+    pub phases: Option<usize>,
+}
+
+impl Default for MaxFlowConfig {
+    fn default() -> Self {
+        MaxFlowConfig {
+            epsilon: 0.1,
+            racke: RackeConfig::default(),
+            alpha: None,
+            max_iterations_per_phase: 5_000,
+            phases: None,
+        }
+    }
+}
+
+impl MaxFlowConfig {
+    /// Convenience constructor fixing ε.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        MaxFlowConfig {
+            epsilon,
+            ..Default::default()
+        }
+    }
+
+    /// Replaces the RNG seed used by the approximator construction.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.racke = self.racke.clone().with_seed(seed);
+        self
+    }
+}
+
+/// Result of routing a demand with near-optimal congestion (Algorithm 1
+/// without the final scaling).
+#[derive(Debug, Clone)]
+pub struct RoutingResult {
+    /// A flow with `Bf = b` exactly (the residual is repaired on a tree).
+    pub flow: FlowVec,
+    /// Maximum edge congestion of that flow.
+    pub congestion: f64,
+    /// Total gradient iterations over all phases.
+    pub iterations: usize,
+    /// Number of `AlmostRoute` phases executed.
+    pub phases: usize,
+}
+
+/// Result of the approximate max-flow computation.
+#[derive(Debug, Clone)]
+pub struct MaxFlowResult {
+    /// A feasible s–t flow (capacities respected, conservation exact).
+    pub flow: FlowVec,
+    /// Value of that flow.
+    pub value: f64,
+    /// A certified upper bound on the maximum flow: the capacity of an actual
+    /// s–t cut of `G` (the best cut known to the congestion approximator).
+    pub upper_bound: f64,
+    /// Total gradient-descent iterations.
+    pub iterations: usize,
+    /// Number of `AlmostRoute` phases.
+    pub phases: usize,
+    /// Statistics of the congestion approximator that was used.
+    pub approximator: capprox::ApproximatorStats,
+}
+
+impl MaxFlowResult {
+    /// The certified approximation ratio `value / upper_bound ∈ (0, 1]`: the
+    /// computed flow is at least this fraction of the (unknown) maximum flow.
+    pub fn certified_ratio(&self) -> f64 {
+        if self.upper_bound <= 0.0 {
+            1.0
+        } else {
+            (self.value / self.upper_bound).min(1.0)
+        }
+    }
+}
+
+/// Routes the demand `b` exactly (Algorithm 1 without the max-flow scaling):
+/// repeated `AlmostRoute` phases on the residual followed by an exact repair
+/// over a maximum-weight spanning tree.
+///
+/// # Errors
+///
+/// Returns an error if the graph is empty or disconnected.
+///
+/// # Panics
+///
+/// Panics if `b` does not match the graph's node count.
+pub fn route_demand(
+    g: &Graph,
+    r: &CongestionApproximator,
+    b: &Demand,
+    config: &MaxFlowConfig,
+) -> Result<RoutingResult, GraphError> {
+    assert_eq!(b.len(), g.num_nodes(), "demand length mismatch");
+    if g.num_nodes() == 0 {
+        return Err(GraphError::Empty);
+    }
+    let m = g.num_edges().max(2);
+    let phases = config.phases.unwrap_or((m as f64).log2().ceil() as usize + 1);
+    let ar_config = AlmostRouteConfig {
+        // Algorithm 1 calls AlmostRoute with ε = 1/2 in every phase; the
+        // outer ε only controls the final scaling accuracy. We pass the outer
+        // ε through when it is smaller to tighten the last phases.
+        epsilon: config.epsilon.min(0.5),
+        alpha: config.alpha,
+        max_iterations: config.max_iterations_per_phase,
+    };
+
+    let mut total = FlowVec::zeros(g.num_edges());
+    let mut iterations = 0usize;
+    let mut executed_phases = 0usize;
+    let initial_norm = r.congestion_lower_bound(b).max(f64::MIN_POSITIVE);
+    // Once the residual is this small relative to the original demand, the
+    // exact tree repair contributes only a negligible amount of congestion,
+    // so further AlmostRoute phases would be wasted work.
+    let stop_norm = initial_norm * (config.epsilon * 1e-2).max(1e-6);
+    for _ in 0..phases {
+        let residual = b.residual(g, &total);
+        let norm = r.congestion_lower_bound(&residual);
+        if norm <= stop_norm {
+            break;
+        }
+        let ar = almost_route(g, r, &residual, &ar_config);
+        iterations += ar.iterations;
+        executed_phases += 1;
+        total.add_assign(&ar.flow);
+    }
+
+    // Steps 5–6 of Algorithm 1: repair the remaining residual exactly on a
+    // maximum-weight spanning tree.
+    let residual = b.residual(g, &total);
+    let tree = max_weight_spanning_tree(g, NodeId(0))?;
+    let repair = tree.route_demand_on_graph(g, &residual)?;
+    total.add_assign(&repair);
+
+    let congestion = total.max_congestion(g);
+    Ok(RoutingResult {
+        flow: total,
+        congestion,
+        iterations,
+        phases: executed_phases,
+    })
+}
+
+/// Computes a `(1+ε)`-approximate maximum s–t flow (Theorem 1.1, centralized
+/// execution).
+///
+/// The returned flow is always feasible; `upper_bound` certifies how close to
+/// optimal it is (`value ≤ maxflow ≤ upper_bound`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Empty`] / [`GraphError::NotConnected`] for degenerate
+/// graphs and [`GraphError::NodeOutOfRange`] for invalid terminals.
+pub fn approx_max_flow(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    config: &MaxFlowConfig,
+) -> Result<MaxFlowResult, GraphError> {
+    let r = CongestionApproximator::build(g, &config.racke)?;
+    approx_max_flow_with(g, &r, s, t, config)
+}
+
+/// Like [`approx_max_flow`] but re-uses an already constructed congestion
+/// approximator (useful when solving several terminal pairs on one graph, and
+/// for the distributed driver which accounts the construction separately).
+///
+/// # Errors
+///
+/// Same conditions as [`approx_max_flow`].
+pub fn approx_max_flow_with(
+    g: &Graph,
+    r: &CongestionApproximator,
+    s: NodeId,
+    t: NodeId,
+    config: &MaxFlowConfig,
+) -> Result<MaxFlowResult, GraphError> {
+    if g.num_nodes() == 0 {
+        return Err(GraphError::Empty);
+    }
+    for v in [s, t] {
+        if v.index() >= g.num_nodes() {
+            return Err(GraphError::NodeOutOfRange {
+                node: v.index(),
+                num_nodes: g.num_nodes(),
+            });
+        }
+    }
+    if s == t {
+        return Err(GraphError::SelfLoop { node: s.index() });
+    }
+    if !g.is_connected() {
+        return Err(GraphError::NotConnected);
+    }
+
+    // Target flow value: the smallest s-t cut among the approximator's rows.
+    // Every row is an actual cut of G, so this is a certified upper bound on
+    // the maximum flow (max-flow min-cut).
+    let unit = Demand::st(g, s, t, 1.0);
+    let unit_congestion = r.congestion_lower_bound(&unit);
+    if unit_congestion <= 0.0 {
+        // No cut of the ensemble separates s and t — impossible for spanning
+        // trees of a connected graph, treat as malformed input.
+        return Err(GraphError::NotConnected);
+    }
+    // The singleton cuts around s and t are always available to every node
+    // locally (they are just the incident capacities), so the target never
+    // needs to exceed them.
+    let degree_cut = g.weighted_degree(s).min(g.weighted_degree(t));
+    let target = (1.0 / unit_congestion).min(degree_cut);
+
+    let demand = Demand::st(g, s, t, target);
+    let routing = route_demand(g, r, &demand, config)?;
+
+    // Scale down to feasibility. If the congestion is below 1 the flow is
+    // already feasible and ships the full upper bound (then it is exactly
+    // optimal, since value ≤ maxflow ≤ upper bound = value).
+    let rho = routing.congestion.max(1.0);
+    let mut flow = routing.flow;
+    flow.scale(1.0 / rho);
+    let mut value = target / rho;
+
+    // Safety net: routing the unit demand over the best single tree of the
+    // ensemble and scaling it to feasibility is another feasible flow; keep
+    // whichever is better. This keeps the result sane even if the gradient
+    // descent was stopped early by the iteration cap.
+    let tree_congestion = r.congestion_upper_bound(g, &unit);
+    if tree_congestion.is_finite() && tree_congestion > 0.0 {
+        let tree_value = 1.0 / tree_congestion;
+        if tree_value > value {
+            if let Some(best) = r
+                .trees()
+                .iter()
+                .min_by(|a, b| {
+                    a.tree_routing_congestion(g, &unit)
+                        .partial_cmp(&b.tree_routing_congestion(g, &unit))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+            {
+                let mut tree_flow = best.tree.route_demand_on_graph(g, &unit)?;
+                tree_flow.scale(tree_value);
+                flow = tree_flow;
+                value = tree_value;
+            }
+        }
+    }
+
+    Ok(MaxFlowResult {
+        flow,
+        value,
+        upper_bound: target,
+        iterations: routing.iterations,
+        phases: routing.phases,
+        approximator: r.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgraph::gen;
+
+    fn solve(g: &Graph, s: NodeId, t: NodeId, eps: f64) -> MaxFlowResult {
+        let config = MaxFlowConfig {
+            epsilon: eps,
+            racke: RackeConfig::default().with_num_trees(8).with_seed(1),
+            ..Default::default()
+        };
+        approx_max_flow(g, s, t, &config).unwrap()
+    }
+
+    #[test]
+    fn flow_is_always_feasible_and_bracketed() {
+        for fam in gen::Family::ALL {
+            let g = fam.generate(30, 5);
+            let (s, t) = gen::default_terminals(&g);
+            let result = solve(&g, s, t, 0.2);
+            let value = result
+                .flow
+                .validate_st_flow(&g, s, t, 1e-6)
+                .unwrap_or_else(|e| panic!("family {fam}: infeasible flow: {e}"));
+            assert!((value - result.value).abs() < 1e-6 * (1.0 + value.abs()), "family {fam}");
+            assert!(
+                result.value <= result.upper_bound + 1e-9,
+                "family {fam}: value above certified upper bound"
+            );
+            assert!(result.value > 0.0, "family {fam}: zero flow");
+        }
+    }
+
+    #[test]
+    fn path_graph_is_solved_exactly() {
+        // On a path the max flow equals the bottleneck capacity and a tree
+        // routing attains it, so the result must be (numerically) exact.
+        let mut g = Graph::with_nodes(5);
+        let caps = [4.0, 2.0, 5.0, 3.0];
+        for (i, &c) in caps.iter().enumerate() {
+            g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), c).unwrap();
+        }
+        let result = solve(&g, NodeId(0), NodeId(4), 0.1);
+        assert!((result.value - 2.0).abs() < 1e-6, "value {}", result.value);
+        assert!((result.upper_bound - 2.0).abs() < 1e-6);
+        assert!(result.certified_ratio() > 0.999);
+    }
+
+    #[test]
+    fn barbell_bridge_is_the_bottleneck() {
+        let g = gen::barbell(5, 2, 10.0, 3.0);
+        let (s, t) = gen::default_terminals(&g);
+        let result = solve(&g, s, t, 0.1);
+        // The bridge has capacity 3; the solver must certify that.
+        assert!((result.upper_bound - 3.0).abs() < 1e-9);
+        assert!(result.value <= 3.0 + 1e-9);
+        assert!(
+            result.certified_ratio() > 0.8,
+            "certified ratio {} too small",
+            result.certified_ratio()
+        );
+    }
+
+    #[test]
+    fn grid_flow_reasonable_quality() {
+        let g = gen::grid(5, 5, 1.0);
+        let result = solve(&g, NodeId(0), NodeId(24), 0.2);
+        // Corner-to-corner max flow on a unit 5x5 grid is 2 (degree bound).
+        assert!(result.value <= 2.0 + 1e-9);
+        assert!(
+            result.value >= 1.2,
+            "value {} too far below the optimum 2.0",
+            result.value
+        );
+        assert!(result.iterations > 0);
+    }
+
+    #[test]
+    fn route_demand_meets_demand_exactly() {
+        let g = gen::grid(4, 4, 1.0);
+        let r = CongestionApproximator::build(&g, &RackeConfig::default().with_num_trees(4))
+            .unwrap();
+        let b = Demand::st(&g, NodeId(0), NodeId(15), 1.5);
+        let routing = route_demand(&g, &r, &b, &MaxFlowConfig::default()).unwrap();
+        let ex = routing.flow.excess(&g);
+        for v in g.nodes() {
+            assert!(
+                (ex[v.index()] - b.get(v)).abs() < 1e-6,
+                "excess mismatch at {v}"
+            );
+        }
+        assert!(routing.congestion > 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let g = gen::path(4, 1.0);
+        let config = MaxFlowConfig::default();
+        assert!(approx_max_flow(&g, NodeId(0), NodeId(0), &config).is_err());
+        assert!(approx_max_flow(&g, NodeId(0), NodeId(9), &config).is_err());
+        let mut disconnected = Graph::with_nodes(4);
+        disconnected.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        assert!(approx_max_flow(&disconnected, NodeId(0), NodeId(3), &config).is_err());
+    }
+
+    #[test]
+    fn certified_ratio_is_within_unit_interval() {
+        let g = gen::layered_st(3, 3, (1.0, 4.0), 3);
+        let (s, t) = gen::default_terminals(&g);
+        let result = solve(&g, s, t, 0.3);
+        let ratio = result.certified_ratio();
+        assert!(ratio > 0.0 && ratio <= 1.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Quotient (contracted) multigraphs.
+//!
+//! Both the AKPW low-stretch tree construction (§7, Algorithm of Alon et al.:
+//! "contract each resulting cluster to a single node … leave parallel edges in
+//! place") and the cluster-graph machinery of §5/§8 work on graphs obtained by
+//! contracting a partition of the nodes. [`ContractedGraph`] performs the
+//! contraction while remembering, for every surviving multigraph edge, the
+//! original graph edge that realizes it — exactly the invariant the paper
+//! maintains ("every core edge is also a graph edge", §3).
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A multigraph obtained from a base graph by contracting a node partition.
+#[derive(Debug, Clone)]
+pub struct ContractedGraph {
+    /// The contracted multigraph; node `i` corresponds to cluster `i`.
+    pub graph: Graph,
+    /// Cluster label of every node of the base graph.
+    pub cluster_of: Vec<usize>,
+    /// For every edge of the contracted graph, the realizing edge of the base graph.
+    pub original_edge: Vec<EdgeId>,
+    /// Members of every cluster.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl ContractedGraph {
+    /// Contracts `g` according to the partition `cluster_of` (labels must be
+    /// dense in `0..num_clusters`). Self-loops (edges inside a cluster) are
+    /// dropped; parallel edges are kept as separate multigraph edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cluster_of.len() != g.num_nodes()` or labels are not dense.
+    pub fn new(g: &Graph, cluster_of: &[usize]) -> Self {
+        assert_eq!(cluster_of.len(), g.num_nodes(), "cluster labelling length mismatch");
+        let num_clusters = cluster_of.iter().copied().max().map_or(0, |m| m + 1);
+        let mut members = vec![Vec::new(); num_clusters];
+        for (v, &c) in cluster_of.iter().enumerate() {
+            assert!(c < num_clusters, "cluster labels must be dense");
+            members[c].push(NodeId(v as u32));
+        }
+        assert!(
+            members.iter().all(|m| !m.is_empty()),
+            "cluster labels must be dense (every label used)"
+        );
+        let mut graph = Graph::with_nodes(num_clusters);
+        let mut original_edge = Vec::new();
+        for (id, e) in g.edges() {
+            let (cu, cv) = (cluster_of[e.tail.index()], cluster_of[e.head.index()]);
+            if cu == cv {
+                continue;
+            }
+            graph
+                .add_edge(NodeId(cu as u32), NodeId(cv as u32), e.capacity)
+                .expect("contracted edge endpoints are valid clusters");
+            original_edge.push(id);
+        }
+        ContractedGraph {
+            graph,
+            cluster_of: cluster_of.to_vec(),
+            original_edge,
+            members,
+        }
+    }
+
+    /// Contracts by merging the endpoints of the given edges (every connected
+    /// component of the chosen edge set becomes one cluster).
+    pub fn by_merging_edges(g: &Graph, merge: &[EdgeId]) -> Self {
+        let mut uf = crate::unionfind::UnionFind::new(g.num_nodes());
+        for &e in merge {
+            let edge = g.edge(e);
+            uf.union(edge.tail.index(), edge.head.index());
+        }
+        let labels = uf.labels();
+        ContractedGraph::new(g, &labels)
+    }
+
+    /// Number of clusters (nodes of the contracted multigraph).
+    pub fn num_clusters(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// The cluster containing base-graph node `v`.
+    pub fn cluster(&self, v: NodeId) -> usize {
+        self.cluster_of[v.index()]
+    }
+
+    /// The base-graph edge realizing contracted edge `e`.
+    pub fn realize(&self, e: EdgeId) -> EdgeId {
+        self.original_edge[e.index()]
+    }
+
+    /// Aggregates per-base-node values to per-cluster sums.
+    pub fn aggregate_node_values(&self, values: &[f64]) -> Vec<f64> {
+        assert_eq!(values.len(), self.cluster_of.len(), "value vector length mismatch");
+        let mut out = vec![0.0; self.num_clusters()];
+        for (v, &c) in self.cluster_of.iter().enumerate() {
+            out[c] += values[v];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn two_triangles() -> Graph {
+        // Triangle {0,1,2} and triangle {3,4,5} joined by edges (2,3) and (0,5).
+        GraphBuilder::new(6)
+            .edge(0, 1, 1.0)
+            .edge(1, 2, 1.0)
+            .edge(2, 0, 1.0)
+            .edge(3, 4, 1.0)
+            .edge(4, 5, 1.0)
+            .edge(5, 3, 1.0)
+            .edge(2, 3, 5.0)
+            .edge(0, 5, 7.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn contract_two_clusters() {
+        let g = two_triangles();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let c = ContractedGraph::new(&g, &labels);
+        assert_eq!(c.num_clusters(), 2);
+        // Only the two joining edges survive, as parallel edges.
+        assert_eq!(c.graph.num_edges(), 2);
+        let caps: Vec<f64> = c.graph.edges().map(|(_, e)| e.capacity).collect();
+        assert!(caps.contains(&5.0) && caps.contains(&7.0));
+        assert_eq!(c.members[0].len(), 3);
+        assert_eq!(c.cluster(NodeId(4)), 1);
+        // The realizing edges are the original joining edges.
+        let realized: Vec<EdgeId> = (0..2).map(|i| c.realize(EdgeId(i as u32))).collect();
+        assert!(realized.contains(&EdgeId(6)));
+        assert!(realized.contains(&EdgeId(7)));
+    }
+
+    #[test]
+    fn contract_by_merging_edges() {
+        let g = two_triangles();
+        // Merge the first triangle's edges only.
+        let c = ContractedGraph::by_merging_edges(&g, &[EdgeId(0), EdgeId(1)]);
+        assert_eq!(c.num_clusters(), 4);
+        // Edges inside the merged triangle disappear (edge 2 becomes a self-loop).
+        assert_eq!(c.graph.num_edges(), g.num_edges() - 3);
+    }
+
+    #[test]
+    fn aggregate_values() {
+        let g = two_triangles();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let c = ContractedGraph::new(&g, &labels);
+        let agg = c.aggregate_node_values(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(agg, vec![6.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_labels_panic() {
+        let g = two_triangles();
+        let labels = vec![0, 0, 0, 2, 2, 2];
+        let _ = ContractedGraph::new(&g, &labels);
+    }
+}

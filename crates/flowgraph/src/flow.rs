@@ -1,0 +1,368 @@
+//! Flow and demand vectors.
+//!
+//! The paper reformulates max flow as congestion minimization for a demand
+//! vector `b ∈ R^V` with `Σ_v b_v = 0` (§2): find `f ∈ R^E` with `Bf = b`
+//! minimizing `‖C⁻¹ f‖_∞`. [`FlowVec`] is the signed edge vector `f` (signs
+//! follow each edge's fixed orientation), [`Demand`] is `b`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::{GraphError, Result};
+
+/// Numerical slack used by feasibility checks on floating-point flows.
+pub const FLOW_EPS: f64 = 1e-9;
+
+/// A signed flow vector, one entry per edge of a fixed graph.
+///
+/// Positive values flow in the direction of the edge's fixed orientation
+/// (`tail -> head`), negative values in the opposite direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowVec {
+    values: Vec<f64>,
+}
+
+impl FlowVec {
+    /// The all-zero flow on a graph with `m` edges.
+    pub fn zeros(m: usize) -> Self {
+        FlowVec { values: vec![0.0; m] }
+    }
+
+    /// Creates a flow vector from raw per-edge values.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        FlowVec { values }
+    }
+
+    /// Number of edges covered by this flow vector.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the vector covers zero edges.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Flow on edge `e`.
+    #[inline]
+    pub fn get(&self, e: EdgeId) -> f64 {
+        self.values[e.index()]
+    }
+
+    /// Sets the flow on edge `e`.
+    #[inline]
+    pub fn set(&mut self, e: EdgeId, value: f64) {
+        self.values[e.index()] = value;
+    }
+
+    /// Adds `delta` to the flow on edge `e`.
+    #[inline]
+    pub fn add(&mut self, e: EdgeId, delta: f64) {
+        self.values[e.index()] += delta;
+    }
+
+    /// Read-only view of the raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable view of the raw values.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Adds another flow vector (entrywise) to this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors have different lengths.
+    pub fn add_assign(&mut self, other: &FlowVec) {
+        assert_eq!(self.len(), other.len(), "flow vectors must cover the same edge set");
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Scales every entry by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.values {
+            *v *= factor;
+        }
+    }
+
+    /// The excess vector `Bf`: for every node, inflow minus outflow under the
+    /// fixed orientation convention of the paper (§2: `(Bf)_v` is the excess
+    /// at node `v`, with `B_{ve} = 1` if `e = (u, v)` enters `v`).
+    pub fn excess(&self, g: &Graph) -> Vec<f64> {
+        let mut ex = vec![0.0; g.num_nodes()];
+        for (id, e) in g.edges() {
+            let f = self.values[id.index()];
+            ex[e.head.index()] += f;
+            ex[e.tail.index()] -= f;
+        }
+        ex
+    }
+
+    /// Net flow out of the source for an s–t flow: the value `F` of the flow
+    /// (paper §1.1 condition 3).
+    pub fn st_value(&self, g: &Graph, s: NodeId) -> f64 {
+        let mut out = 0.0;
+        for &eid in g.incident_edges(s) {
+            let e = g.edge(eid);
+            let f = self.values[eid.index()];
+            if e.tail == s {
+                out += f;
+            } else {
+                out -= f;
+            }
+        }
+        out
+    }
+
+    /// Congestion of edge `e`: `|f_e| / cap(e)`.
+    pub fn edge_congestion(&self, g: &Graph, e: EdgeId) -> f64 {
+        self.values[e.index()].abs() / g.capacity(e)
+    }
+
+    /// Maximum edge congestion `‖C⁻¹ f‖_∞` (0 for an edgeless graph).
+    pub fn max_congestion(&self, g: &Graph) -> f64 {
+        g.edge_ids()
+            .map(|e| self.edge_congestion(g, e))
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` if `|f_e| ≤ cap(e) (1 + tol)` for every edge.
+    pub fn respects_capacities(&self, g: &Graph, tol: f64) -> bool {
+        g.edge_ids()
+            .all(|e| self.values[e.index()].abs() <= g.capacity(e) * (1.0 + tol) + FLOW_EPS)
+    }
+
+    /// Checks flow conservation at every node except `s` and `t` and returns
+    /// the largest absolute violation.
+    pub fn conservation_violation(&self, g: &Graph, s: NodeId, t: NodeId) -> f64 {
+        self.excess(g)
+            .iter()
+            .enumerate()
+            .filter(|(v, _)| *v != s.index() && *v != t.index())
+            .map(|(_, ex)| ex.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Verifies that this vector is a feasible s–t flow in `g` within
+    /// tolerance `tol` and returns its value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidWeight`] describing the first violated
+    /// constraint: a capacity violation or a conservation violation.
+    pub fn validate_st_flow(&self, g: &Graph, s: NodeId, t: NodeId, tol: f64) -> Result<f64> {
+        for e in g.edge_ids() {
+            let over = self.values[e.index()].abs() - g.capacity(e) * (1.0 + tol);
+            if over > FLOW_EPS {
+                return Err(GraphError::InvalidWeight {
+                    value: self.values[e.index()],
+                });
+            }
+        }
+        let violation = self.conservation_violation(g, s, t);
+        if violation > tol.max(FLOW_EPS) {
+            return Err(GraphError::InvalidWeight { value: violation });
+        }
+        Ok(self.st_value(g, s))
+    }
+}
+
+/// A demand vector `b ∈ R^V` with `Σ_v b_v = 0`.
+///
+/// Positive entries are sources of demand, negative entries are sinks; the
+/// congestion-minimization problem asks for a flow whose excess equals `b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Demand {
+    values: Vec<f64>,
+}
+
+impl Demand {
+    /// The all-zero demand for a graph with `n` nodes.
+    pub fn zeros(n: usize) -> Self {
+        Demand { values: vec![0.0; n] }
+    }
+
+    /// Creates a demand from raw per-node values.
+    ///
+    /// The values are *not* re-balanced; use [`Demand::is_balanced`] to check.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        Demand { values }
+    }
+
+    /// Creates the s–t demand that ships `amount` units from `s` to `t`
+    /// (positive at the sink `t`, negative at the source `s`, matching the
+    /// excess convention `Bf = b`).
+    pub fn st(g: &Graph, s: NodeId, t: NodeId, amount: f64) -> Self {
+        let mut values = vec![0.0; g.num_nodes()];
+        values[s.index()] -= amount;
+        values[t.index()] += amount;
+        Demand { values }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the demand covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Demand at node `v`.
+    #[inline]
+    pub fn get(&self, v: NodeId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// Sets the demand at node `v`.
+    #[inline]
+    pub fn set(&mut self, v: NodeId, value: f64) {
+        self.values[v.index()] = value;
+    }
+
+    /// Read-only view of the raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable view of the raw values.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Sum of all entries (should be ~0 for a routable demand).
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Sum of the positive entries (total quantity that must be shipped).
+    pub fn total_positive(&self) -> f64 {
+        self.values.iter().filter(|v| **v > 0.0).sum()
+    }
+
+    /// Returns `true` if the entries sum to zero within `tol`.
+    pub fn is_balanced(&self, tol: f64) -> bool {
+        self.total().abs() <= tol
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().map(|v| v.abs()).fold(0.0, f64::max)
+    }
+
+    /// Scales every entry by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.values {
+            *v *= factor;
+        }
+    }
+
+    /// Residual demand `b - Bf`: what remains to be routed after applying `f`.
+    pub fn residual(&self, g: &Graph, f: &FlowVec) -> Demand {
+        let ex = f.excess(g);
+        let values = self
+            .values
+            .iter()
+            .zip(ex.iter())
+            .map(|(b, e)| b - e)
+            .collect();
+        Demand { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path3() -> Graph {
+        GraphBuilder::new(3).edge(0, 1, 2.0).edge(1, 2, 1.0).build().unwrap()
+    }
+
+    #[test]
+    fn excess_matches_orientation() {
+        let g = path3();
+        let mut f = FlowVec::zeros(g.num_edges());
+        f.set(EdgeId(0), 1.0); // 0 -> 1
+        f.set(EdgeId(1), 1.0); // 1 -> 2
+        let ex = f.excess(&g);
+        assert!((ex[0] + 1.0).abs() < 1e-12);
+        assert!(ex[1].abs() < 1e-12);
+        assert!((ex[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn st_value_and_validation() {
+        let g = path3();
+        let mut f = FlowVec::zeros(g.num_edges());
+        f.set(EdgeId(0), 1.0);
+        f.set(EdgeId(1), 1.0);
+        let v = f.validate_st_flow(&g, NodeId(0), NodeId(2), 1e-9).unwrap();
+        assert!((v - 1.0).abs() < 1e-12);
+        assert!((f.st_value(&g, NodeId(0)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_violation_detected() {
+        let g = path3();
+        let mut f = FlowVec::zeros(g.num_edges());
+        f.set(EdgeId(0), 1.5);
+        f.set(EdgeId(1), 1.5);
+        assert!(f.validate_st_flow(&g, NodeId(0), NodeId(2), 1e-9).is_err());
+        assert!((f.max_congestion(&g) - 1.5).abs() < 1e-12);
+        assert!(!f.respects_capacities(&g, 0.0));
+        assert!(f.respects_capacities(&g, 0.6));
+    }
+
+    #[test]
+    fn conservation_violation_detected() {
+        let g = path3();
+        let mut f = FlowVec::zeros(g.num_edges());
+        f.set(EdgeId(0), 1.0);
+        // nothing leaves node 1 towards node 2 -> conservation violated at 1
+        assert!(f.conservation_violation(&g, NodeId(0), NodeId(2)) > 0.5);
+        assert!(f.validate_st_flow(&g, NodeId(0), NodeId(2), 1e-9).is_err());
+    }
+
+    #[test]
+    fn demand_basics() {
+        let g = path3();
+        let d = Demand::st(&g, NodeId(0), NodeId(2), 5.0);
+        assert!(d.is_balanced(1e-12));
+        assert_eq!(d.total_positive(), 5.0);
+        assert_eq!(d.get(NodeId(0)), -5.0);
+        assert_eq!(d.get(NodeId(2)), 5.0);
+        assert_eq!(d.max_abs(), 5.0);
+    }
+
+    #[test]
+    fn residual_demand_after_partial_routing() {
+        let g = path3();
+        let d = Demand::st(&g, NodeId(0), NodeId(2), 2.0);
+        let mut f = FlowVec::zeros(g.num_edges());
+        f.set(EdgeId(0), 2.0); // pushed to node 1 but not further
+        let r = d.residual(&g, &f);
+        assert!((r.get(NodeId(0)) - 0.0).abs() < 1e-12);
+        assert!((r.get(NodeId(1)) + 2.0).abs() < 1e-12);
+        assert!((r.get(NodeId(2)) - 2.0).abs() < 1e-12);
+        assert!(r.is_balanced(1e-12));
+    }
+
+    #[test]
+    fn flow_arithmetic() {
+        let mut a = FlowVec::from_values(vec![1.0, -2.0]);
+        let b = FlowVec::from_values(vec![0.5, 0.5]);
+        a.add_assign(&b);
+        assert_eq!(a.values(), &[1.5, -1.5]);
+        a.scale(2.0);
+        assert_eq!(a.values(), &[3.0, -3.0]);
+        a.add(EdgeId(0), 1.0);
+        assert_eq!(a.get(EdgeId(0)), 4.0);
+    }
+}

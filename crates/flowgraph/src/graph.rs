@@ -1,0 +1,624 @@
+//! Core undirected, capacitated multigraph type.
+//!
+//! The paper (§1.1) works with a simple connected weighted graph
+//! `G = (V, E, cap)` with an arbitrary but fixed orientation per edge; several
+//! of the constructions (Madry cores, contracted cluster graphs, AKPW
+//! iterations) additionally require *multigraphs*. [`Graph`] therefore stores
+//! a list of oriented edges (parallel edges allowed) plus a per-node incidence
+//! index, which covers both use cases.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GraphError, Result};
+
+/// Identifier of a node, an index into `0..graph.num_nodes()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(value: usize) -> Self {
+        NodeId(value as u32)
+    }
+}
+
+/// Identifier of an (oriented) edge, an index into `0..graph.num_edges()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the edge id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(value: usize) -> Self {
+        EdgeId(value as u32)
+    }
+}
+
+/// A single undirected edge with the fixed orientation `tail -> head` used to
+/// give flow values a sign (paper §1.1: "We fix an arbitrary orientation of
+/// the edges").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Tail of the fixed orientation.
+    pub tail: NodeId,
+    /// Head of the fixed orientation.
+    pub head: NodeId,
+    /// Capacity `cap(e) > 0`.
+    pub capacity: f64,
+}
+
+impl Edge {
+    /// Returns the endpoint different from `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not an endpoint of the edge.
+    #[inline]
+    pub fn other(&self, u: NodeId) -> NodeId {
+        if u == self.tail {
+            self.head
+        } else if u == self.head {
+            self.tail
+        } else {
+            panic!("node {u} is not an endpoint of edge {self:?}");
+        }
+    }
+
+    /// Returns `true` if `u` is one of the endpoints.
+    #[inline]
+    pub fn is_incident(&self, u: NodeId) -> bool {
+        self.tail == u || self.head == u
+    }
+
+    /// Orientation sign of the edge as seen from node `u`:
+    /// `+1.0` if the edge leaves `u` (u is the tail), `-1.0` if it enters `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not an endpoint of the edge.
+    #[inline]
+    pub fn sign_from(&self, u: NodeId) -> f64 {
+        if u == self.tail {
+            1.0
+        } else if u == self.head {
+            -1.0
+        } else {
+            panic!("node {u} is not an endpoint of edge {self:?}");
+        }
+    }
+}
+
+/// An undirected, capacitated multigraph.
+///
+/// Nodes are `0..n`, edges are `0..m` in insertion order; parallel edges and
+/// the empty graph are allowed, self-loops are not.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Graph {
+    edges: Vec<Edge>,
+    /// `incidence[v]` lists the edge ids incident to node `v`.
+    incidence: Vec<Vec<EdgeId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            edges: Vec::new(),
+            incidence: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.incidence.len()
+    }
+
+    /// Number of edges `m` (parallel edges counted individually).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.incidence.is_empty()
+    }
+
+    /// Adds a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.incidence.push(Vec::new());
+        NodeId((self.incidence.len() - 1) as u32)
+    }
+
+    /// Adds an undirected edge `{u, v}` with the fixed orientation `u -> v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is out of range, if `u == v`, or if
+    /// the capacity is not a strictly positive finite number.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, capacity: f64) -> Result<EdgeId> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u.index() });
+        }
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(GraphError::InvalidWeight { value: capacity });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(Edge {
+            tail: u,
+            head: v,
+            capacity,
+        });
+        self.incidence[u.index()].push(id);
+        self.incidence[v.index()].push(id);
+        Ok(id)
+    }
+
+    /// Returns the edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is out of range.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// Returns the edge with the given id, or `None` if out of range.
+    #[inline]
+    pub fn get_edge(&self, e: EdgeId) -> Option<&Edge> {
+        self.edges.get(e.index())
+    }
+
+    /// Capacity of edge `e`.
+    #[inline]
+    pub fn capacity(&self, e: EdgeId) -> f64 {
+        self.edges[e.index()].capacity
+    }
+
+    /// Replaces the capacity of edge `e`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the capacity is not strictly positive and finite.
+    pub fn set_capacity(&mut self, e: EdgeId, capacity: f64) -> Result<()> {
+        self.check_edge(e)?;
+        if !(capacity.is_finite() && capacity > 0.0) {
+            return Err(GraphError::InvalidWeight { value: capacity });
+        }
+        self.edges[e.index()].capacity = capacity;
+        Ok(())
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.num_edges() as u32).map(EdgeId)
+    }
+
+    /// Iterates over `(EdgeId, &Edge)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    /// Edge ids incident to node `v` (parallel edges repeated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn incident_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.incidence[v.index()]
+    }
+
+    /// Degree of node `v` (number of incident edge slots, so parallel edges
+    /// count multiple times).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.incidence[v.index()].len()
+    }
+
+    /// Iterates over `(EdgeId, neighbor)` pairs for node `v`.
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.incidence[v.index()]
+            .iter()
+            .map(move |&e| (e, self.edges[e.index()].other(v)))
+    }
+
+    /// Sum of all edge capacities.
+    pub fn total_capacity(&self) -> f64 {
+        self.edges.iter().map(|e| e.capacity).sum()
+    }
+
+    /// Largest edge capacity, or `0.0` for an edgeless graph.
+    pub fn max_capacity(&self) -> f64 {
+        self.edges.iter().map(|e| e.capacity).fold(0.0, f64::max)
+    }
+
+    /// Smallest edge capacity, or `f64::INFINITY` for an edgeless graph.
+    pub fn min_capacity(&self) -> f64 {
+        self.edges
+            .iter()
+            .map(|e| e.capacity)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Total capacity of edges incident to `v`.
+    pub fn weighted_degree(&self, v: NodeId) -> f64 {
+        self.incidence[v.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].capacity)
+            .sum()
+    }
+
+    /// Runs a breadth-first search from `root` and returns, for every node,
+    /// its hop distance from the root (`usize::MAX` for unreachable nodes).
+    pub fn bfs_distances(&self, root: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.num_nodes()];
+        if root.index() >= self.num_nodes() {
+            return dist;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        dist[root.index()] = 0;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for (_, w) in self.neighbors(u) {
+                if dist[w.index()] == usize::MAX {
+                    dist[w.index()] = dist[u.index()] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Returns `true` if every node is reachable from node 0 (the empty graph
+    /// counts as connected).
+    pub fn is_connected(&self) -> bool {
+        if self.num_nodes() == 0 {
+            return true;
+        }
+        self.bfs_distances(NodeId(0)).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// The hop diameter of the graph (longest shortest path in hops),
+    /// computed exactly with one BFS per node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotConnected`] if the graph is disconnected and
+    /// [`GraphError::Empty`] if it has no nodes.
+    pub fn hop_diameter(&self) -> Result<usize> {
+        if self.num_nodes() == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut diam = 0usize;
+        for v in self.nodes() {
+            let dist = self.bfs_distances(v);
+            for &d in &dist {
+                if d == usize::MAX {
+                    return Err(GraphError::NotConnected);
+                }
+                diam = diam.max(d);
+            }
+        }
+        Ok(diam)
+    }
+
+    /// Cheap 2-approximation of the hop diameter using a single BFS
+    /// (eccentricity of node 0 doubled is an upper bound; we return the
+    /// eccentricity of the farthest node found by a second BFS, which is a
+    /// lower bound and at least half the true diameter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotConnected`] or [`GraphError::Empty`]
+    /// analogously to [`Graph::hop_diameter`].
+    pub fn approx_hop_diameter(&self) -> Result<usize> {
+        if self.num_nodes() == 0 {
+            return Err(GraphError::Empty);
+        }
+        let d0 = self.bfs_distances(NodeId(0));
+        let (far, &maxd) = d0
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &d)| if d == usize::MAX { 0 } else { d })
+            .expect("non-empty");
+        if d0.iter().any(|&d| d == usize::MAX) {
+            return Err(GraphError::NotConnected);
+        }
+        let _ = maxd;
+        let d1 = self.bfs_distances(NodeId(far as u32));
+        Ok(*d1.iter().max().expect("non-empty"))
+    }
+
+    /// Connected components as a node -> component-index labelling, plus the
+    /// number of components.
+    pub fn components(&self) -> (Vec<usize>, usize) {
+        let n = self.num_nodes();
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let mut queue = std::collections::VecDeque::new();
+            comp[start] = next;
+            queue.push_back(NodeId(start as u32));
+            while let Some(u) = queue.pop_front() {
+                for (_, w) in self.neighbors(u) {
+                    if comp[w.index()] == usize::MAX {
+                        comp[w.index()] = next;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next)
+    }
+
+    /// Returns a copy of the graph restricted to the given edge set (same node
+    /// set, only the listed edges). Edge ids are re-assigned in the order
+    /// given; the returned vector maps new edge ids to old ones.
+    pub fn edge_subgraph(&self, edges: &[EdgeId]) -> (Graph, Vec<EdgeId>) {
+        let mut g = Graph::with_nodes(self.num_nodes());
+        let mut back = Vec::with_capacity(edges.len());
+        for &e in edges {
+            let edge = self.edge(e);
+            g.add_edge(edge.tail, edge.head, edge.capacity)
+                .expect("edges of a valid graph remain valid");
+            back.push(e);
+        }
+        (g, back)
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<()> {
+        if v.index() >= self.num_nodes() {
+            Err(GraphError::NodeOutOfRange {
+                node: v.index(),
+                num_nodes: self.num_nodes(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_edge(&self, e: EdgeId) -> Result<()> {
+        if e.index() >= self.num_edges() {
+            Err(GraphError::EdgeOutOfRange {
+                edge: e.index(),
+                num_edges: self.num_edges(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Builder for [`Graph`] that allows deferred validation and fluent
+/// construction of test and example graphs.
+///
+/// # Example
+///
+/// ```
+/// use flowgraph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(3)
+///     .edge(0, 1, 2.0)
+///     .edge(1, 2, 3.0)
+///     .build()
+///     .expect("valid graph");
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            num_nodes: n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Queues an edge `{u, v}` with the given capacity.
+    #[must_use]
+    pub fn edge(mut self, u: usize, v: usize, capacity: f64) -> Self {
+        self.edges.push((u, v, capacity));
+        self
+    }
+
+    /// Queues a unit-capacity edge `{u, v}`.
+    #[must_use]
+    pub fn unit_edge(self, u: usize, v: usize) -> Self {
+        self.edge(u, v, 1.0)
+    }
+
+    /// Builds the graph, validating every queued edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error encountered (out-of-range endpoint,
+    /// self-loop, non-positive capacity).
+    pub fn build(self) -> Result<Graph> {
+        let mut g = Graph::with_nodes(self.num_nodes);
+        for (u, v, c) in self.edges {
+            g.add_edge(NodeId(u as u32), NodeId(v as u32), c)?;
+        }
+        Ok(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        GraphBuilder::new(3)
+            .edge(0, 1, 1.0)
+            .edge(1, 2, 2.0)
+            .edge(2, 0, 4.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_and_query_basic_properties() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.total_capacity(), 7.0);
+        assert_eq!(g.max_capacity(), 4.0);
+        assert_eq!(g.min_capacity(), 1.0);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn edge_orientation_and_sign() {
+        let g = triangle();
+        let e = g.edge(EdgeId(0));
+        assert_eq!(e.tail, NodeId(0));
+        assert_eq!(e.head, NodeId(1));
+        assert_eq!(e.sign_from(NodeId(0)), 1.0);
+        assert_eq!(e.sign_from(NodeId(1)), -1.0);
+        assert_eq!(e.other(NodeId(0)), NodeId(1));
+        assert!(e.is_incident(NodeId(1)));
+        assert!(!e.is_incident(NodeId(2)));
+    }
+
+    #[test]
+    fn rejects_invalid_edges() {
+        let mut g = Graph::with_nodes(2);
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(0), 1.0),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(5), 1.0),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(1), 0.0),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(1), f64::NAN),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(NodeId(0), NodeId(1), f64::INFINITY),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_edges_are_allowed() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(1), 2.0).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(NodeId(0)), 2);
+        assert_eq!(g.weighted_degree(NodeId(0)), 3.0);
+    }
+
+    #[test]
+    fn bfs_distances_and_diameter() {
+        let g = GraphBuilder::new(4)
+            .unit_edge(0, 1)
+            .unit_edge(1, 2)
+            .unit_edge(2, 3)
+            .build()
+            .unwrap();
+        let d = g.bfs_distances(NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3]);
+        assert_eq!(g.hop_diameter().unwrap(), 3);
+        assert!(g.approx_hop_diameter().unwrap() >= 2);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = GraphBuilder::new(4).unit_edge(0, 1).unit_edge(2, 3).build().unwrap();
+        assert!(!g.is_connected());
+        assert!(matches!(g.hop_diameter(), Err(GraphError::NotConnected)));
+        let (comp, k) = g.components();
+        assert_eq!(k, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn empty_graph_behaviour() {
+        let g = Graph::default();
+        assert!(g.is_empty());
+        assert!(g.is_connected());
+        assert!(matches!(g.hop_diameter(), Err(GraphError::Empty)));
+    }
+
+    #[test]
+    fn edge_subgraph_preserves_endpoints() {
+        let g = triangle();
+        let (sub, back) = g.edge_subgraph(&[EdgeId(2)]);
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(back, vec![EdgeId(2)]);
+        assert_eq!(sub.edge(EdgeId(0)).capacity, 4.0);
+    }
+
+    #[test]
+    fn set_capacity_validates() {
+        let mut g = triangle();
+        g.set_capacity(EdgeId(0), 10.0).unwrap();
+        assert_eq!(g.capacity(EdgeId(0)), 10.0);
+        assert!(g.set_capacity(EdgeId(0), -1.0).is_err());
+        assert!(g.set_capacity(EdgeId(9), 1.0).is_err());
+    }
+
+    #[test]
+    fn builder_example_compiles() {
+        let g = GraphBuilder::new(3).edge(0, 1, 2.0).edge(1, 2, 3.0).build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

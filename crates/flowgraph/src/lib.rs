@@ -1,0 +1,108 @@
+//! Undirected weighted graph substrate for the distributed maximum-flow
+//! reproduction of Ghaffari et al., *Near-Optimal Distributed Maximum Flow*
+//! (PODC 2015).
+//!
+//! The crate provides everything the higher layers (low-stretch trees,
+//! congestion approximators, Sherman's gradient descent, the CONGEST
+//! simulator) need from a graph library:
+//!
+//! * [`Graph`] — an undirected, capacitated multigraph with a fixed arbitrary
+//!   orientation per edge (the paper's §1.1 problem setup),
+//! * [`FlowVec`] / [`Demand`] — flow and demand vectors together with
+//!   feasibility, conservation and congestion checks,
+//! * [`Cut`] — node-side cuts with capacity and crossing-edge queries,
+//! * [`RootedTree`] — rooted (spanning) trees with subtree aggregation, LCA,
+//!   stretch computation and trivial tree routing,
+//! * [`gen`] — workload generators for every graph family used in the
+//!   experiment harness,
+//! * [`contract`] — quotient multigraphs, used by the cluster-graph and
+//!   low-stretch-tree machinery.
+//!
+//! # Example
+//!
+//! ```
+//! use flowgraph::{gen, Demand, NodeId};
+//!
+//! let g = gen::grid(4, 4, 1.0);
+//! assert_eq!(g.num_nodes(), 16);
+//! let s = NodeId(0);
+//! let t = NodeId(15);
+//! let d = Demand::st(&g, s, t, 3.0);
+//! assert_eq!(d.total_positive(), 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod cut;
+pub mod flow;
+pub mod gen;
+pub mod graph;
+pub mod spanning;
+pub mod tree;
+pub mod unionfind;
+
+pub use cut::Cut;
+pub use flow::{Demand, FlowVec};
+pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
+pub use spanning::{bfs_tree, max_weight_spanning_tree, minimum_spanning_tree, random_spanning_tree};
+pub use tree::RootedTree;
+pub use unionfind::UnionFind;
+
+/// Error type for graph construction and query operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was out of range for the graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// An edge index was out of range for the graph.
+    EdgeOutOfRange {
+        /// The offending edge index.
+        edge: usize,
+        /// The number of edges in the graph.
+        num_edges: usize,
+    },
+    /// A capacity or length was not strictly positive / finite.
+    InvalidWeight {
+        /// The offending value.
+        value: f64,
+    },
+    /// The graph is not connected but the operation requires connectivity.
+    NotConnected,
+    /// A self-loop was supplied where it is not allowed.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// The operation requires a non-empty graph.
+    Empty,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node index {node} out of range for graph with {num_nodes} nodes")
+            }
+            GraphError::EdgeOutOfRange { edge, num_edges } => {
+                write!(f, "edge index {edge} out of range for graph with {num_edges} edges")
+            }
+            GraphError::InvalidWeight { value } => {
+                write!(f, "weight {value} is not a strictly positive finite number")
+            }
+            GraphError::NotConnected => write!(f, "graph is not connected"),
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
+            GraphError::Empty => write!(f, "graph is empty"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;

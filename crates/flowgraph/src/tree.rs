@@ -1,0 +1,601 @@
+//! Rooted trees over a graph's node set.
+//!
+//! Trees are the workhorse of the paper: low average-stretch spanning trees
+//! (§7), the virtual trees of the congestion approximator (§8), and the
+//! maximum-weight spanning tree used to repair residual demand (§9, Alg. 1)
+//! all need the same machinery — orientation towards a root, subtree
+//! aggregation, least common ancestors, tree-induced cuts and the trivial
+//! routing of a demand vector over a tree.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cut::Cut;
+use crate::flow::{Demand, FlowVec};
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::{GraphError, Result};
+
+/// A rooted tree on the node set `0..n`.
+///
+/// The tree may be a spanning subtree of a [`Graph`] (then every non-root node
+/// records the graph edge to its parent) or a purely *virtual* tree whose
+/// edges carry their own capacities (the j-trees of §8).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RootedTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    /// Graph edge realizing the parent edge, when the tree is a subtree of a graph.
+    parent_edge: Vec<Option<EdgeId>>,
+    /// Capacity of the parent edge of each node (virtual trees); `None` means
+    /// "inherit from the graph edge".
+    parent_capacity: Vec<Option<f64>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<usize>,
+    /// Nodes in a top-down (preorder/BFS) order; reversing gives bottom-up.
+    order: Vec<NodeId>,
+}
+
+impl RootedTree {
+    /// Builds a rooted tree from a parent array.
+    ///
+    /// `parent[v]` must be `None` exactly for the root; all other nodes must
+    /// reach the root by following parents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotConnected`] if some node cannot reach the root
+    /// or the parent pointers contain a cycle.
+    pub fn from_parents(
+        root: NodeId,
+        parent: Vec<Option<NodeId>>,
+        parent_edge: Vec<Option<EdgeId>>,
+    ) -> Result<Self> {
+        let n = parent.len();
+        if root.index() >= n {
+            return Err(GraphError::NodeOutOfRange {
+                node: root.index(),
+                num_nodes: n,
+            });
+        }
+        let mut children = vec![Vec::new(); n];
+        for v in 0..n {
+            if let Some(p) = parent[v] {
+                if p.index() >= n {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: p.index(),
+                        num_nodes: n,
+                    });
+                }
+                children[p.index()].push(NodeId(v as u32));
+            } else if v != root.index() {
+                return Err(GraphError::NotConnected);
+            }
+        }
+        if parent[root.index()].is_some() {
+            return Err(GraphError::NotConnected);
+        }
+        // BFS from the root to compute depths / order and detect unreachable nodes.
+        let mut depth = vec![usize::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::new();
+        depth[root.index()] = 0;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &c in &children[u.index()] {
+                if depth[c.index()] != usize::MAX {
+                    return Err(GraphError::NotConnected);
+                }
+                depth[c.index()] = depth[u.index()] + 1;
+                queue.push_back(c);
+            }
+        }
+        if order.len() != n {
+            return Err(GraphError::NotConnected);
+        }
+        Ok(RootedTree {
+            root,
+            parent,
+            parent_edge,
+            parent_capacity: vec![None; n],
+            children,
+            depth,
+            order,
+        })
+    }
+
+    /// Builds a rooted spanning tree of `g` from an (unoriented) set of tree
+    /// edges by a BFS over those edges starting at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotConnected`] if the edges do not span all nodes.
+    pub fn spanning_from_edges(g: &Graph, root: NodeId, edges: &[EdgeId]) -> Result<Self> {
+        let n = g.num_nodes();
+        let mut adj: Vec<Vec<(EdgeId, NodeId)>> = vec![Vec::new(); n];
+        for &eid in edges {
+            let e = g.edge(eid);
+            adj[e.tail.index()].push((eid, e.head));
+            adj[e.head.index()].push((eid, e.tail));
+        }
+        let mut parent = vec![None; n];
+        let mut parent_edge = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[root.index()] = true;
+        queue.push_back(root);
+        while let Some(u) = queue.pop_front() {
+            for &(eid, w) in &adj[u.index()] {
+                if !seen[w.index()] {
+                    seen[w.index()] = true;
+                    parent[w.index()] = Some(u);
+                    parent_edge[w.index()] = Some(eid);
+                    queue.push_back(w);
+                }
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err(GraphError::NotConnected);
+        }
+        RootedTree::from_parents(root, parent, parent_edge)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Graph edge realizing the parent edge of `v` (if the tree is a spanning
+    /// subtree of a graph).
+    #[inline]
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent_edge[v.index()]
+    }
+
+    /// Children of `v`.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// Depth of `v` (root has depth 0).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> usize {
+        self.depth[v.index()]
+    }
+
+    /// Maximum depth over all nodes.
+    pub fn max_depth(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Nodes in a top-down order (every node appears after its parent).
+    pub fn preorder(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Sets an explicit capacity for the parent edge of `v` (virtual trees).
+    pub fn set_parent_capacity(&mut self, v: NodeId, capacity: f64) {
+        self.parent_capacity[v.index()] = Some(capacity);
+    }
+
+    /// Capacity of the parent edge of `v`: the explicitly set virtual capacity
+    /// if present, otherwise the capacity of the realizing graph edge.
+    ///
+    /// Returns `None` for the root or when neither is available.
+    pub fn parent_capacity(&self, g: &Graph, v: NodeId) -> Option<f64> {
+        if self.parent[v.index()].is_none() {
+            return None;
+        }
+        if let Some(c) = self.parent_capacity[v.index()] {
+            return Some(c);
+        }
+        self.parent_edge[v.index()].map(|e| g.capacity(e))
+    }
+
+    /// Iterates over the tree edges as `(child, parent)` pairs.
+    pub fn tree_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.order.iter().filter_map(move |&v| {
+            self.parent[v.index()].map(|p| (v, p))
+        })
+    }
+
+    /// The graph edges used by this tree (when it is a spanning subtree).
+    pub fn graph_edges(&self) -> Vec<EdgeId> {
+        self.parent_edge.iter().filter_map(|e| *e).collect()
+    }
+
+    /// Returns `true` if `a` is an ancestor of `d` (or equal to it).
+    pub fn is_ancestor(&self, a: NodeId, d: NodeId) -> bool {
+        let mut cur = d;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Least common ancestor of `u` and `v` (walk-up algorithm, `O(depth)`).
+    pub fn lca(&self, u: NodeId, v: NodeId) -> NodeId {
+        let (mut a, mut b) = (u, v);
+        while self.depth(a) > self.depth(b) {
+            a = self.parent(a).expect("node above root");
+        }
+        while self.depth(b) > self.depth(a) {
+            b = self.parent(b).expect("node above root");
+        }
+        while a != b {
+            a = self.parent(a).expect("node above root");
+            b = self.parent(b).expect("node above root");
+        }
+        a
+    }
+
+    /// Number of tree edges on the unique path between `u` and `v`.
+    pub fn path_hops(&self, u: NodeId, v: NodeId) -> usize {
+        let l = self.lca(u, v);
+        self.depth(u) + self.depth(v) - 2 * self.depth(l)
+    }
+
+    /// Nodes on the unique path from `u` up to (and including) its ancestor `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not an ancestor of `u`.
+    pub fn path_to_ancestor(&self, u: NodeId, a: NodeId) -> Vec<NodeId> {
+        let mut path = vec![u];
+        let mut cur = u;
+        while cur != a {
+            cur = self
+                .parent(cur)
+                .expect("reached the root before the requested ancestor");
+            path.push(cur);
+        }
+        path
+    }
+
+    /// Per-node sums over subtrees: `out[v] = Σ_{w in subtree(v)} values[w]`.
+    pub fn subtree_sums(&self, values: &[f64]) -> Vec<f64> {
+        assert_eq!(values.len(), self.num_nodes(), "value vector length mismatch");
+        let mut sums = values.to_vec();
+        for &v in self.order.iter().rev() {
+            if let Some(p) = self.parent(v) {
+                let add = sums[v.index()];
+                sums[p.index()] += add;
+            }
+        }
+        sums
+    }
+
+    /// Per-node sums of `values` along the path from the root down to each
+    /// node: `out[v] = Σ_{w on root..v path} values[w]` (inclusive).
+    ///
+    /// This is the "downcast" aggregation used to accumulate node potentials
+    /// (§9.1).
+    pub fn prefix_sums_from_root(&self, values: &[f64]) -> Vec<f64> {
+        assert_eq!(values.len(), self.num_nodes(), "value vector length mismatch");
+        let mut out = vec![0.0; self.num_nodes()];
+        for &v in &self.order {
+            let base = match self.parent(v) {
+                Some(p) => out[p.index()],
+                None => 0.0,
+            };
+            out[v.index()] = base + values[v.index()];
+        }
+        out
+    }
+
+    /// Distance from the root to every node where the parent edge of `v` has
+    /// length `edge_length(v)`.
+    pub fn root_distances(&self, mut edge_length: impl FnMut(NodeId) -> f64) -> Vec<f64> {
+        let mut dist = vec![0.0; self.num_nodes()];
+        for &v in &self.order {
+            if let Some(p) = self.parent(v) {
+                dist[v.index()] = dist[p.index()] + edge_length(v);
+            }
+        }
+        dist
+    }
+
+    /// Tree distance between `u` and `v` given precomputed root distances.
+    pub fn tree_distance(&self, root_dist: &[f64], u: NodeId, v: NodeId) -> f64 {
+        let l = self.lca(u, v);
+        root_dist[u.index()] + root_dist[v.index()] - 2.0 * root_dist[l.index()]
+    }
+
+    /// The cut induced by the parent edge of `v`: the subtree rooted at `v`
+    /// versus the rest of the graph.
+    pub fn subtree_cut(&self, v: NodeId) -> Cut {
+        let mut side = vec![false; self.num_nodes()];
+        // Mark subtree(v) via a DFS over children.
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            if side[u.index()] {
+                continue;
+            }
+            side[u.index()] = true;
+            stack.extend_from_slice(self.children(u));
+        }
+        Cut::from_membership(side)
+    }
+
+    /// Routes the demand `d` over the tree: returns, for every non-root node
+    /// `v`, the signed flow on its parent edge (positive = towards the
+    /// parent). Entry for the root is 0.
+    ///
+    /// The flow on the parent edge of `v` equals the net excess demanded by
+    /// the subtree of `v` (everything below must be shipped through that
+    /// edge), which is the unique way to route on a tree.
+    pub fn route_demand(&self, d: &Demand) -> Vec<f64> {
+        assert_eq!(d.len(), self.num_nodes(), "demand length mismatch");
+        // subtree_sums of b: positive sum means the subtree is a net sink,
+        // so flow must come *down* the parent edge (towards the child).
+        // We define "towards parent" as positive, so the parent-edge flow is
+        // -subtree_sum (the surplus of the subtree flows up).
+        self.subtree_sums(d.values())
+            .iter()
+            .zip(0..)
+            .map(|(&s, v)| if NodeId(v) == self.root { 0.0 } else { -s })
+            .collect()
+    }
+
+    /// Routes the demand `d` over the tree and materializes it as a flow on
+    /// the underlying graph (only possible for spanning subtrees, i.e. when
+    /// every parent edge is realized by a graph edge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NotConnected`] if some parent edge has no
+    /// realizing graph edge.
+    pub fn route_demand_on_graph(&self, g: &Graph, d: &Demand) -> Result<FlowVec> {
+        let per_node = self.route_demand(d);
+        let mut f = FlowVec::zeros(g.num_edges());
+        for &v in &self.order {
+            if v == self.root {
+                continue;
+            }
+            let eid = self.parent_edge[v.index()].ok_or(GraphError::NotConnected)?;
+            let p = self.parent(v).expect("non-root has parent");
+            let e = g.edge(eid);
+            // per_node[v] > 0 means flow from v towards p.
+            let toward_parent = per_node[v.index()];
+            let signed = if e.tail == v && e.head == p {
+                toward_parent
+            } else {
+                -toward_parent
+            };
+            f.add(eid, signed);
+        }
+        Ok(f)
+    }
+
+    /// Maximum congestion over the *tree edges* when routing demand `d`,
+    /// using the tree's own capacities (virtual capacity if set, otherwise the
+    /// realizing graph edge's capacity).
+    pub fn routing_congestion(&self, g: &Graph, d: &Demand) -> f64 {
+        let per_node = self.route_demand(d);
+        let mut worst: f64 = 0.0;
+        for &v in &self.order {
+            if v == self.root {
+                continue;
+            }
+            let cap = self
+                .parent_capacity(g, v)
+                .expect("non-root node of a capacitated tree has a parent capacity");
+            if cap > 0.0 {
+                worst = worst.max(per_node[v.index()].abs() / cap);
+            } else if per_node[v.index()].abs() > 0.0 {
+                worst = f64::INFINITY;
+            }
+        }
+        worst
+    }
+
+    /// Average stretch of the graph's edges with respect to this tree, in the
+    /// paper's sense (Theorem 3.1): `Σ_e dT(u_e, v_e) / Σ_e ℓ(e)` where `ℓ`
+    /// assigns each graph edge a length and the tree's parent edges inherit
+    /// the length of their realizing graph edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is not a spanning subtree of `g` (some parent edge
+    /// has no realizing graph edge).
+    pub fn average_stretch(&self, g: &Graph, length: impl Fn(EdgeId) -> f64) -> f64 {
+        let root_dist = self.root_distances(|v| {
+            let e = self.parent_edge[v.index()].expect("spanning subtree required");
+            length(e)
+        });
+        let mut total_tree_dist = 0.0;
+        let mut total_length = 0.0;
+        for (id, e) in g.edges() {
+            total_length += length(id);
+            total_tree_dist += self.tree_distance(&root_dist, e.tail, e.head);
+        }
+        if total_length <= 0.0 {
+            0.0
+        } else {
+            total_tree_dist / total_length
+        }
+    }
+
+    /// Per-edge stretch `dT(u_e, v_e) / ℓ(e)` for every graph edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is not a spanning subtree of `g`.
+    pub fn edge_stretches(&self, g: &Graph, length: impl Fn(EdgeId) -> f64) -> Vec<f64> {
+        let root_dist = self.root_distances(|v| {
+            let e = self.parent_edge[v.index()].expect("spanning subtree required");
+            length(e)
+        });
+        g.edges()
+            .map(|(id, e)| {
+                self.tree_distance(&root_dist, e.tail, e.head) / length(id).max(f64::MIN_POSITIVE)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Path 0-1-2-3 plus chord 0-3.
+    fn diamond() -> Graph {
+        GraphBuilder::new(4)
+            .edge(0, 1, 1.0)
+            .edge(1, 2, 1.0)
+            .edge(2, 3, 1.0)
+            .edge(0, 3, 1.0)
+            .build()
+            .unwrap()
+    }
+
+    fn path_tree(g: &Graph) -> RootedTree {
+        RootedTree::spanning_from_edges(g, NodeId(0), &[EdgeId(0), EdgeId(1), EdgeId(2)]).unwrap()
+    }
+
+    #[test]
+    fn spanning_tree_structure() {
+        let g = diamond();
+        let t = path_tree(&g);
+        assert_eq!(t.root(), NodeId(0));
+        assert_eq!(t.parent(NodeId(1)), Some(NodeId(0)));
+        assert_eq!(t.parent(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(t.depth(NodeId(3)), 3);
+        assert_eq!(t.max_depth(), 3);
+        assert_eq!(t.children(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(t.graph_edges().len(), 3);
+        assert_eq!(t.tree_edges().count(), 3);
+    }
+
+    #[test]
+    fn lca_and_paths() {
+        let g = diamond();
+        let t = path_tree(&g);
+        assert_eq!(t.lca(NodeId(3), NodeId(1)), NodeId(1));
+        assert_eq!(t.lca(NodeId(3), NodeId(3)), NodeId(3));
+        assert_eq!(t.path_hops(NodeId(0), NodeId(3)), 3);
+        assert!(t.is_ancestor(NodeId(1), NodeId(3)));
+        assert!(!t.is_ancestor(NodeId(3), NodeId(1)));
+        assert_eq!(
+            t.path_to_ancestor(NodeId(3), NodeId(1)),
+            vec![NodeId(3), NodeId(2), NodeId(1)]
+        );
+    }
+
+    #[test]
+    fn subtree_sums_and_prefix_sums() {
+        let g = diamond();
+        let t = path_tree(&g);
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let sums = t.subtree_sums(&vals);
+        assert_eq!(sums, vec![10.0, 9.0, 7.0, 4.0]);
+        let prefix = t.prefix_sums_from_root(&vals);
+        assert_eq!(prefix, vec![1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn route_demand_on_path() {
+        let g = diamond();
+        let t = path_tree(&g);
+        let d = Demand::st(&g, NodeId(0), NodeId(3), 2.0);
+        let per_node = t.route_demand(&d);
+        // subtree(1) = {1,2,3} needs +2, so 2 units flow down edge (1->0)? No:
+        // flow toward parent is -subtree_sum = -2 (i.e. 2 units flow from parent to child).
+        assert!((per_node[1] + 2.0).abs() < 1e-12);
+        assert!((per_node[3] + 2.0).abs() < 1e-12);
+        let f = t.route_demand_on_graph(&g, &d).unwrap();
+        let val = f.validate_st_flow(&g, NodeId(0), NodeId(3), 1e-6).unwrap_err();
+        // capacity 1.0 is violated by routing 2 units on the path; the check
+        // reports the offending value.
+        let _ = val;
+        assert!((f.st_value(&g, NodeId(0)) - 2.0).abs() < 1e-12);
+        assert!((f.max_congestion(&g) - 2.0).abs() < 1e-12);
+        assert!((t.routing_congestion(&g, &d) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn route_balanced_demand_conserves() {
+        let g = diamond();
+        let t = path_tree(&g);
+        let mut d = Demand::zeros(4);
+        d.set(NodeId(0), -1.0);
+        d.set(NodeId(1), 3.0);
+        d.set(NodeId(2), -2.5);
+        d.set(NodeId(3), 0.5);
+        assert!(d.is_balanced(1e-12));
+        let f = t.route_demand_on_graph(&g, &d).unwrap();
+        let ex = f.excess(&g);
+        for v in 0..4 {
+            assert!((ex[v] - d.get(NodeId(v as u32))).abs() < 1e-9, "excess mismatch at {v}");
+        }
+    }
+
+    #[test]
+    fn subtree_cut_capacity() {
+        let g = diamond();
+        let t = path_tree(&g);
+        let cut = t.subtree_cut(NodeId(2));
+        // subtree {2,3}: crossing edges are (1,2) and (0,3) -> capacity 2.
+        assert!((cut.capacity(&g) - 2.0).abs() < 1e-12);
+        assert!(cut.contains(NodeId(2)));
+        assert!(cut.contains(NodeId(3)));
+        assert!(!cut.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn average_stretch_of_path_tree() {
+        let g = diamond();
+        let t = path_tree(&g);
+        // Edges on the tree have stretch 1; chord (0,3) has tree distance 3.
+        let s = t.average_stretch(&g, |e| g.capacity(e));
+        assert!((s - (1.0 + 1.0 + 1.0 + 3.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parents_rejects_disconnected() {
+        let parent = vec![None, Some(NodeId(0)), None];
+        let r = RootedTree::from_parents(NodeId(0), parent, vec![None; 3]);
+        assert!(matches!(r, Err(GraphError::NotConnected)));
+    }
+
+    #[test]
+    fn from_parents_rejects_cycle() {
+        let parent = vec![None, Some(NodeId(2)), Some(NodeId(1))];
+        let r = RootedTree::from_parents(NodeId(0), parent, vec![None; 3]);
+        assert!(matches!(r, Err(GraphError::NotConnected)));
+    }
+
+    #[test]
+    fn spanning_from_edges_requires_spanning_set() {
+        let g = diamond();
+        let r = RootedTree::spanning_from_edges(&g, NodeId(0), &[EdgeId(0)]);
+        assert!(matches!(r, Err(GraphError::NotConnected)));
+    }
+
+    #[test]
+    fn virtual_capacities_override_graph() {
+        let g = diamond();
+        let mut t = path_tree(&g);
+        assert_eq!(t.parent_capacity(&g, NodeId(1)), Some(1.0));
+        t.set_parent_capacity(NodeId(1), 7.0);
+        assert_eq!(t.parent_capacity(&g, NodeId(1)), Some(7.0));
+        assert_eq!(t.parent_capacity(&g, NodeId(0)), None);
+    }
+}

@@ -1,0 +1,222 @@
+//! Low-diameter decomposition (`SplitGraph` of Blelloch et al., Figure 4 of
+//! the paper).
+//!
+//! Given an unweighted (multi)graph restricted to a set of *active* edges and
+//! a target radius `ρ`, the decomposition partitions the nodes into clusters
+//! of hop radius `O(ρ)` such that every edge is cut (has endpoints in
+//! different clusters) with probability `O(log n / ρ)`.
+//!
+//! We implement the random-delay BFS variant that the paper's `SplitGraph`
+//! uses: every node draws a random start delay in `[0, ρ)`, all nodes grow
+//! BFS balls simultaneously (a ball can start expanding only after its
+//! delay), and every node joins the cluster of the first ball that reaches
+//! it, breaking ties by the smaller center identifier. In the CONGEST model
+//! the same process runs in `O(ρ)` rounds because only the winning traversal
+//! needs to proceed over any edge (§7).
+
+use flowgraph::{EdgeId, Graph, NodeId};
+use rand::Rng;
+
+/// Result of a low-diameter decomposition.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Cluster label of every node (dense in `0..num_clusters`).
+    pub cluster_of: Vec<usize>,
+    /// Number of clusters.
+    pub num_clusters: usize,
+    /// BFS-tree edges chosen inside the clusters (each connects a node to the
+    /// neighbor through which it was first reached).
+    pub tree_edges: Vec<EdgeId>,
+    /// The center node of every cluster.
+    pub centers: Vec<NodeId>,
+    /// Maximum hop radius observed (distance from a node to its center).
+    pub max_radius: usize,
+    /// Number of active edges whose endpoints ended up in different clusters.
+    pub cut_edges: usize,
+    /// Number of synchronous rounds the random-delay BFS would take in the
+    /// CONGEST model (the largest finish time over all nodes).
+    pub rounds: usize,
+}
+
+/// Runs the random-delay BFS decomposition on the subgraph formed by the
+/// edges for which `active(e)` is true, with target radius `radius`.
+///
+/// Nodes that are isolated in the active subgraph become singleton clusters.
+///
+/// # Panics
+///
+/// Panics if `radius == 0`.
+pub fn split_graph(
+    g: &Graph,
+    active: impl Fn(EdgeId) -> bool,
+    radius: usize,
+    rng: &mut impl Rng,
+) -> Decomposition {
+    assert!(radius >= 1, "target radius must be at least 1");
+    let n = g.num_nodes();
+    // Random start delays in [0, radius).
+    let delays: Vec<usize> = (0..n).map(|_| rng.gen_range(0..radius)).collect();
+
+    // Priority queue on (arrival_time, center_id, node): every node is the
+    // potential center of its own ball, started at its delay.
+    // A node is claimed by the first (time, center) pair to reach it.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Item {
+        time: usize,
+        center: u32,
+        node: u32,
+        via_edge: u32,
+        has_via: bool,
+    }
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<Item>> =
+        std::collections::BinaryHeap::new();
+    for v in 0..n {
+        heap.push(std::cmp::Reverse(Item {
+            time: delays[v],
+            center: v as u32,
+            node: v as u32,
+            via_edge: 0,
+            has_via: false,
+        }));
+    }
+
+    let mut owner: Vec<Option<(u32, usize)>> = vec![None; n]; // (center, arrival time)
+    let mut tree_edges = Vec::new();
+    let mut rounds = 0usize;
+    while let Some(std::cmp::Reverse(item)) = heap.pop() {
+        let v = item.node as usize;
+        if owner[v].is_some() {
+            continue;
+        }
+        owner[v] = Some((item.center, item.time));
+        rounds = rounds.max(item.time);
+        if item.has_via {
+            tree_edges.push(EdgeId(item.via_edge));
+        }
+        for (eid, w) in g.neighbors(NodeId(v as u32)) {
+            if !active(eid) || owner[w.index()].is_some() {
+                continue;
+            }
+            heap.push(std::cmp::Reverse(Item {
+                time: item.time + 1,
+                center: item.center,
+                node: w.0,
+                via_edge: eid.0,
+                has_via: true,
+            }));
+        }
+    }
+
+    // Densify cluster labels and gather statistics.
+    let mut label_of_center = std::collections::HashMap::new();
+    let mut centers = Vec::new();
+    let mut cluster_of = vec![0usize; n];
+    let mut max_radius = 0usize;
+    for v in 0..n {
+        let (center, time) = owner[v].expect("every node is claimed (it is its own candidate center)");
+        let next = label_of_center.len();
+        let label = *label_of_center.entry(center).or_insert_with(|| {
+            centers.push(NodeId(center));
+            next
+        });
+        cluster_of[v] = label;
+        max_radius = max_radius.max(time.saturating_sub(delays[center as usize]));
+    }
+    let num_clusters = centers.len();
+    let cut_edges = g
+        .edges()
+        .filter(|(id, e)| active(*id) && cluster_of[e.tail.index()] != cluster_of[e.head.index()])
+        .count();
+
+    Decomposition {
+        cluster_of,
+        num_clusters,
+        tree_edges,
+        centers,
+        max_radius,
+        cut_edges,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowgraph::gen;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn decomposition_covers_all_nodes() {
+        let g = gen::grid(6, 6, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let dec = split_graph(&g, |_| true, 3, &mut rng);
+        assert_eq!(dec.cluster_of.len(), 36);
+        assert!(dec.num_clusters >= 1);
+        assert_eq!(dec.centers.len(), dec.num_clusters);
+        // Radius is bounded by the target radius (ball grows for < radius steps
+        // after its delay, and delays are < radius).
+        assert!(dec.max_radius <= 2 * 3);
+    }
+
+    #[test]
+    fn tree_edges_span_clusters() {
+        let g = gen::grid(6, 6, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let dec = split_graph(&g, |_| true, 4, &mut rng);
+        // Each cluster of size k contributes k-1 tree edges.
+        assert_eq!(dec.tree_edges.len(), 36 - dec.num_clusters);
+        // Tree edges never cross clusters.
+        for &e in &dec.tree_edges {
+            let edge = g.edge(e);
+            assert_eq!(
+                dec.cluster_of[edge.tail.index()],
+                dec.cluster_of[edge.head.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn inactive_edges_are_never_used() {
+        let g = gen::grid(4, 4, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // Only edges with even ids are active.
+        let dec = split_graph(&g, |e| e.index() % 2 == 0, 3, &mut rng);
+        for &e in &dec.tree_edges {
+            assert_eq!(e.index() % 2, 0, "used an inactive edge");
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_become_singletons() {
+        let g = gen::path(5, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        // No active edges at all.
+        let dec = split_graph(&g, |_| false, 2, &mut rng);
+        assert_eq!(dec.num_clusters, 5);
+        assert!(dec.tree_edges.is_empty());
+        assert_eq!(dec.cut_edges, 0);
+    }
+
+    #[test]
+    fn larger_radius_gives_fewer_clusters_on_average() {
+        let g = gen::grid(10, 10, 1.0);
+        let mut small_total = 0usize;
+        let mut large_total = 0usize;
+        for seed in 0..5 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            small_total += split_graph(&g, |_| true, 2, &mut rng).num_clusters;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 100);
+            large_total += split_graph(&g, |_| true, 8, &mut rng).num_clusters;
+        }
+        assert!(large_total < small_total, "{large_total} !< {small_total}");
+    }
+
+    #[test]
+    fn rounds_bounded_by_twice_radius() {
+        let g = gen::grid(8, 8, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let dec = split_graph(&g, |_| true, 5, &mut rng);
+        assert!(dec.rounds <= 2 * 5 + 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests (proptest) for the core invariants of the paper's
+//! machinery: feasibility and bracketing of the max-flow solver, the
+//! congestion-approximator sandwich, tree-routing conservation, and cut
+//! preservation by the sparsifier.
+
+use capprox::{exhaustive_opt_congestion, CongestionApproximator, RackeConfig};
+use flowgraph::{cut, gen, Demand, NodeId};
+use maxflow::MaxFlowConfig;
+use proptest::prelude::*;
+
+/// A small random connected graph described by (n, edge probability seed).
+fn small_graph_strategy() -> impl Strategy<Value = (usize, u64)> {
+    (6usize..14, 0u64..5000)
+}
+
+fn build(n: usize, seed: u64) -> flowgraph::Graph {
+    gen::random_gnp(n, 0.4, (1.0, 5.0), seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn solver_flow_is_feasible_and_bracketed((n, seed) in small_graph_strategy()) {
+        let g = build(n, seed);
+        let (s, t) = gen::default_terminals(&g);
+        let config = MaxFlowConfig {
+            epsilon: 0.25,
+            racke: RackeConfig::default().with_num_trees(5).with_seed(seed),
+            alpha: None,
+            max_iterations_per_phase: 1_500,
+            phases: Some(2),
+        };
+        let result = maxflow::approx_max_flow(&g, s, t, &config).unwrap();
+        // Feasible…
+        let value = result.flow.validate_st_flow(&g, s, t, 1e-6).unwrap();
+        prop_assert!((value - result.value).abs() < 1e-6 * (1.0 + value.abs()));
+        // …and bracketed by the certificate and the exhaustive min cut.
+        let mincut = cut::exhaustive_min_st_cut(&g, s, t);
+        prop_assert!(result.value <= mincut + 1e-6);
+        prop_assert!(mincut <= result.upper_bound + 1e-6);
+        prop_assert!(result.value > 0.0);
+    }
+
+    #[test]
+    fn approximator_sandwiches_opt((n, seed) in small_graph_strategy(), amounts in proptest::collection::vec(-3.0f64..3.0, 6..14)) {
+        let g = build(n, seed);
+        let r = CongestionApproximator::build(
+            &g,
+            &RackeConfig::default().with_num_trees(4).with_seed(seed),
+        )
+        .unwrap();
+        // Build a balanced demand from the raw amounts.
+        let mut b = Demand::zeros(g.num_nodes());
+        for v in g.nodes() {
+            let x = amounts.get(v.index()).copied().unwrap_or(0.0);
+            b.set(v, x);
+        }
+        let shift = b.total() / g.num_nodes() as f64;
+        for v in g.nodes() {
+            b.set(v, b.get(v) - shift);
+        }
+        let lower = r.congestion_lower_bound(&b);
+        let upper = r.congestion_upper_bound(&g, &b);
+        let opt = exhaustive_opt_congestion(&g, &b);
+        prop_assert!(lower <= opt + 1e-6, "lower {lower} > opt {opt}");
+        prop_assert!(upper + 1e-6 >= opt, "upper {upper} < opt {opt}");
+    }
+
+    #[test]
+    fn tree_routing_conserves_any_balanced_demand((n, seed) in small_graph_strategy(), amounts in proptest::collection::vec(-2.0f64..2.0, 6..14)) {
+        let g = build(n, seed);
+        let tree = flowgraph::max_weight_spanning_tree(&g, NodeId(0)).unwrap();
+        let mut b = Demand::zeros(g.num_nodes());
+        for v in g.nodes() {
+            b.set(v, amounts.get(v.index()).copied().unwrap_or(0.0));
+        }
+        let shift = b.total() / g.num_nodes() as f64;
+        for v in g.nodes() {
+            b.set(v, b.get(v) - shift);
+        }
+        let f = tree.route_demand_on_graph(&g, &b).unwrap();
+        let excess = f.excess(&g);
+        for v in g.nodes() {
+            prop_assert!((excess[v.index()] - b.get(v)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparsifier_preserves_cuts_within_factor((n, seed) in (8usize..14, 0u64..2000)) {
+        let g = gen::complete(n, 1.0);
+        let s = capprox::sparsify(
+            &g,
+            &capprox::SparsifyConfig {
+                epsilon: 0.3,
+                oversampling: 4.0,
+                seed,
+            },
+        );
+        let (hi, lo) = capprox::sparsify::exhaustive_cut_error(&g, &s.graph);
+        prop_assert!(hi <= 1.9, "cut inflated by {hi}");
+        prop_assert!(lo >= 0.35, "cut deflated to {lo}");
+    }
+
+    #[test]
+    fn dinic_matches_exhaustive_min_cut((n, seed) in small_graph_strategy()) {
+        let g = build(n, seed);
+        let (s, t) = gen::default_terminals(&g);
+        let exact = baselines::dinic::max_flow(&g, s, t).unwrap();
+        let mincut = cut::exhaustive_min_st_cut(&g, s, t);
+        prop_assert!((exact.value - mincut).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,95 @@
+//! Integration tests for the distributed layer: the CONGEST primitives
+//! compose correctly across crates, the tree aggregations match their
+//! centralized references on arbitrary trees, and the round accounting of the
+//! full pipeline behaves like Õ(D + √n) per iteration rather than Õ(n).
+
+use capprox::RackeConfig;
+use congest::primitives::{broadcast_over_tree, build_bfs_tree, convergecast_sum};
+use congest::treeops::{distributed_prefix_sums, distributed_subtree_sums, TreeDecomposition};
+use congest::Network;
+use flowgraph::{gen, spanning, NodeId};
+use maxflow::MaxFlowConfig;
+use proptest::prelude::*;
+
+#[test]
+fn bfs_broadcast_convergecast_roundtrip_on_all_families() {
+    for fam in gen::Family::ALL {
+        let g = fam.generate(30, 3);
+        let n = g.num_nodes();
+        let network = Network::new(g);
+        let bfs = build_bfs_tree(&network, NodeId(0));
+        let b = broadcast_over_tree(&network, &bfs.tree, 3.25);
+        assert!(b.values.iter().all(|&v| (v - 3.25).abs() < 1e-12), "family {fam}");
+        let values: Vec<f64> = (0..n).map(|v| v as f64).collect();
+        let c = convergecast_sum(&network, &bfs.tree, &values);
+        let expected: f64 = values.iter().sum();
+        assert!((c.root_value - expected).abs() < 1e-9, "family {fam}");
+        // Round costs are bounded by the tree depth plus slack.
+        assert!(b.cost.rounds as usize <= bfs.tree.max_depth() + 2, "family {fam}");
+        assert!(c.cost.rounds as usize <= bfs.tree.max_depth() + 2, "family {fam}");
+    }
+}
+
+#[test]
+fn per_iteration_rounds_scale_with_sqrt_n_on_expanders() {
+    // On expanders D = O(log n), so the per-iteration cost should grow far
+    // slower than linearly in n.
+    let mut per_iter = Vec::new();
+    for &n in &[64usize, 256] {
+        let g = gen::Family::Expander.generate(n, 5);
+        let (s, t) = gen::default_terminals(&g);
+        let cfg = MaxFlowConfig {
+            epsilon: 0.4,
+            racke: RackeConfig::default().with_num_trees(3).with_seed(2),
+            alpha: None,
+            max_iterations_per_phase: 5,
+            phases: Some(1),
+        };
+        let dist = maxflow::distributed_approx_max_flow(&g, s, t, &cfg).unwrap();
+        per_iter.push(dist.rounds.per_iteration.rounds as f64);
+    }
+    let growth = per_iter[1] / per_iter[0];
+    // n grew by 4x; Õ(√n) growth is ~2x (plus log factors), far below 4x.
+    assert!(
+        growth < 3.5,
+        "per-iteration rounds grew by {growth:.2}x when n grew 4x: {per_iter:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn decomposed_aggregations_match_centralized(seed in 0u64..5000, n in 20usize..80) {
+        let g = gen::random_gnp(n, 0.15, (1.0, 3.0), seed);
+        let tree = spanning::max_weight_spanning_tree(&g, NodeId(0)).unwrap();
+        let network = Network::new(g);
+        let bfs = build_bfs_tree(&network, NodeId(0)).tree;
+        let mut rng = gen::rng(seed);
+        let dec = TreeDecomposition::sample(&tree, 0.25, &mut rng);
+        let values: Vec<f64> = (0..n).map(|v| ((v * 31 + seed as usize) % 11) as f64 - 5.0).collect();
+        let up = distributed_subtree_sums(&network, &tree, &dec, &bfs, &values);
+        let down = distributed_prefix_sums(&network, &tree, &dec, &bfs, &values);
+        let expected_up = tree.subtree_sums(&values);
+        let expected_down = tree.prefix_sums_from_root(&values);
+        for v in 0..n {
+            prop_assert!((up.values[v] - expected_up[v]).abs() < 1e-9);
+            prop_assert!((down.values[v] - expected_down[v]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn decomposition_components_partition_the_tree(seed in 0u64..5000, n in 20usize..120) {
+        let g = gen::path(n, 1.0);
+        let tree = spanning::bfs_tree(&g, NodeId(0)).unwrap();
+        let mut rng = gen::rng(seed);
+        let dec = TreeDecomposition::sample(&tree, TreeDecomposition::recommended_probability(n), &mut rng);
+        // Labels are dense and component roots are consistent.
+        prop_assert_eq!(dec.component.len(), n);
+        let max_label = dec.component.iter().copied().max().unwrap();
+        prop_assert_eq!(max_label + 1, dec.num_components);
+        for (c, &root) in dec.component_roots.iter().enumerate() {
+            prop_assert_eq!(dec.component[root.index()], c);
+        }
+    }
+}
