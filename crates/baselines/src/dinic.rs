@@ -156,7 +156,11 @@ pub fn max_flow(g: &Graph, s: NodeId, t: NodeId) -> Result<ExactFlow, GraphError
             flow.add(arc.edge, arc.flow);
         }
     }
-    Ok(ExactFlow { value, flow, phases })
+    Ok(ExactFlow {
+        value,
+        flow,
+        phases,
+    })
 }
 
 #[cfg(test)]
@@ -174,7 +178,9 @@ mod tests {
             .unwrap();
         let r = max_flow(&g, NodeId(0), NodeId(3)).unwrap();
         assert!((r.value - 1.5).abs() < 1e-9);
-        r.flow.validate_st_flow(&g, NodeId(0), NodeId(3), 1e-9).unwrap();
+        r.flow
+            .validate_st_flow(&g, NodeId(0), NodeId(3), 1e-9)
+            .unwrap();
     }
 
     #[test]

@@ -262,7 +262,9 @@ pub fn distributed_max_flow(
             }
         }
         for (u, e, amount) in pushes {
-            let amount = amount.min(excess[u.index()]).min(res.residual_from(g, e, u));
+            let amount = amount
+                .min(excess[u.index()])
+                .min(res.residual_from(g, e, u));
             if amount <= 1e-12 {
                 continue;
             }
@@ -319,7 +321,12 @@ mod tests {
         let (s, t) = (NodeId(0), NodeId(15));
         let d = distributed_max_flow(&g, s, t, 1_000_000).unwrap();
         let exact = dinic::max_flow(&g, s, t).unwrap();
-        assert!((d.value - exact.value).abs() < 1e-6, "{} vs {}", d.value, exact.value);
+        assert!(
+            (d.value - exact.value).abs() < 1e-6,
+            "{} vs {}",
+            d.value,
+            exact.value
+        );
         assert!(d.rounds > 0);
         assert!(d.messages > 0);
     }
@@ -339,10 +346,7 @@ mod tests {
                 distributed_max_flow(&g, s, t, 10_000_000).unwrap().rounds
             })
             .collect();
-        assert!(
-            rounds[2] > rounds[0],
-            "rounds must grow with n: {rounds:?}"
-        );
+        assert!(rounds[2] > rounds[0], "rounds must grow with n: {rounds:?}");
         let n0 = 25f64;
         let n2 = 100f64;
         let growth = rounds[2] as f64 / rounds[0] as f64;

@@ -25,7 +25,11 @@ fn bench_approx_vs_exact(c: &mut Criterion) {
         let g = gen::grid(side, side, 1.0);
         let (s, t) = gen::default_terminals(&g);
         group.bench_with_input(BenchmarkId::new("sherman_approx", n), &n, |b, _| {
-            b.iter(|| maxflow::approx_max_flow(&g, s, t, &solver_config(0.3)).unwrap().value)
+            b.iter(|| {
+                maxflow::approx_max_flow(&g, s, t, &solver_config(0.3))
+                    .unwrap()
+                    .value
+            })
         });
         group.bench_with_input(BenchmarkId::new("dinic_exact", n), &n, |b, _| {
             b.iter(|| baselines::dinic::max_flow(&g, s, t).unwrap().value)
@@ -42,11 +46,9 @@ fn bench_almost_route_epsilon(c: &mut Criterion) {
     group.sample_size(10);
     let g = gen::grid(7, 7, 1.0);
     let (s, t) = gen::default_terminals(&g);
-    let r = CongestionApproximator::build(
-        &g,
-        &RackeConfig::default().with_num_trees(6).with_seed(2),
-    )
-    .unwrap();
+    let r =
+        CongestionApproximator::build(&g, &RackeConfig::default().with_num_trees(6).with_seed(2))
+            .unwrap();
     let b = Demand::st(&g, s, t, 1.0);
     for &eps in &[0.5f64, 0.25, 0.1] {
         group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |bench, &eps| {

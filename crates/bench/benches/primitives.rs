@@ -27,7 +27,11 @@ fn bench_bfs_and_aggregation(c: &mut Criterion) {
             .map(|v| (0..k).map(|i| (v + i) as f64).collect())
             .collect();
         group.bench_with_input(BenchmarkId::new("pipelined_k8", n), &n, |b, _| {
-            b.iter(|| pipelined_convergecast(&network, &bfs.tree, &per_node, k).cost.rounds)
+            b.iter(|| {
+                pipelined_convergecast(&network, &bfs.tree, &per_node, k)
+                    .cost
+                    .rounds
+            })
         });
     }
     group.finish();
@@ -43,8 +47,11 @@ fn bench_tree_aggregation_lemma91(c: &mut Criterion) {
         let bfs = build_bfs_tree(&network, NodeId(0)).tree;
         let values = vec![1.0; n];
         let mut rng = gen::rng(1);
-        let dec =
-            TreeDecomposition::sample(&tree, TreeDecomposition::recommended_probability(n), &mut rng);
+        let dec = TreeDecomposition::sample(
+            &tree,
+            TreeDecomposition::recommended_probability(n),
+            &mut rng,
+        );
         group.bench_with_input(BenchmarkId::new("decomposed", n), &n, |b, _| {
             b.iter(|| {
                 distributed_subtree_sums(&network, &tree, &dec, &bfs, &values)
@@ -56,5 +63,9 @@ fn bench_tree_aggregation_lemma91(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bfs_and_aggregation, bench_tree_aggregation_lemma91);
+criterion_group!(
+    benches,
+    bench_bfs_and_aggregation,
+    bench_tree_aggregation_lemma91
+);
 criterion_main!(benches);

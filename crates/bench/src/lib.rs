@@ -70,14 +70,18 @@ pub fn table1_rounds(sizes: &[usize]) -> Experiment {
     let mut out = String::from(
         "| family | n | m | D | D+√n | this work (rounds) | push-relabel (rounds) | collect O(m) (rounds) |\n|---|---|---|---|---|---|---|---|\n",
     );
-    for fam in [gen::Family::Grid, gen::Family::Expander, gen::Family::Random] {
+    for fam in [
+        gen::Family::Grid,
+        gen::Family::Expander,
+        gen::Family::Random,
+    ] {
         for &n in sizes {
             let g = fam.generate(n, 42);
             let (s, t) = gen::default_terminals(&g);
             let dist = distributed_approx_max_flow(&g, s, t, &solver_config(0.2, 7))
                 .expect("connected instance");
-            let pr = push_relabel::distributed_max_flow(&g, s, t, 50_000_000)
-                .expect("valid instance");
+            let pr =
+                push_relabel::distributed_max_flow(&g, s, t, 50_000_000).expect("valid instance");
             let collect = trivial::collect_and_solve(&g, s, t).expect("valid instance");
             out.push_str(&format!(
                 "| {} | {} | {} | {} | {:.0} | {} | {} | {} |\n",
@@ -136,7 +140,11 @@ pub fn table3_stretch(sizes: &[usize]) -> Experiment {
     let mut out = String::from(
         "| family | n | AKPW stretch | BFS stretch | max-weight ST stretch | random ST stretch |\n|---|---|---|---|---|---|\n",
     );
-    for fam in [gen::Family::Grid, gen::Family::Random, gen::Family::Expander] {
+    for fam in [
+        gen::Family::Grid,
+        gen::Family::Random,
+        gen::Family::Expander,
+    ] {
         for &n in sizes {
             let g = fam.generate(n, 5);
             let lengths: Vec<f64> = g.edge_ids().map(|e| 1.0 / g.capacity(e)).collect();
@@ -217,13 +225,12 @@ pub fn table4_capprox(n: usize, num_trees: &[usize]) -> Experiment {
 pub fn table5_iterations(n: usize, epsilons: &[f64]) -> Experiment {
     let g = gen::grid((n as f64).sqrt() as usize, (n as f64).sqrt() as usize, 1.0);
     let (s, t) = gen::default_terminals(&g);
-    let r = CongestionApproximator::build(
-        &g,
-        &RackeConfig::default().with_num_trees(8).with_seed(2),
-    )
-    .expect("connected instance");
+    let r =
+        CongestionApproximator::build(&g, &RackeConfig::default().with_num_trees(8).with_seed(2))
+            .expect("connected instance");
     let b = Demand::st(&g, s, t, 1.0);
-    let mut out = String::from("| ε | iterations | scaling steps | ε⁻³ (reference) |\n|---|---|---|---|\n");
+    let mut out =
+        String::from("| ε | iterations | scaling steps | ε⁻³ (reference) |\n|---|---|---|---|\n");
     for &eps in epsilons {
         let result = maxflow::almost_route(
             &g,
@@ -289,11 +296,8 @@ pub fn table6_sparsifier(sizes: &[usize]) -> Experiment {
 /// (Theorem 8.10).
 pub fn table7_jtrees(n: usize, js: &[usize]) -> Experiment {
     let g = gen::random_gnp(n, 8.0 / n as f64, (1.0, 5.0), 11);
-    let ensemble = build_tree_ensemble(
-        &g,
-        &RackeConfig::default().with_num_trees(1).with_seed(5),
-    )
-    .expect("connected instance");
+    let ensemble = build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(1).with_seed(5))
+        .expect("connected instance");
     let mut out = String::from(
         "| j (target) | portals | bound 4j | core edges | forest components |\n|---|---|---|---|---|\n",
     );
@@ -458,11 +462,9 @@ pub fn ablation_tree_kind(n: usize) -> Experiment {
         })
     };
 
-    let racke = CongestionApproximator::build(
-        &g,
-        &RackeConfig::default().with_num_trees(8).with_seed(2),
-    )
-    .expect("connected");
+    let racke =
+        CongestionApproximator::build(&g, &RackeConfig::default().with_num_trees(8).with_seed(2))
+            .expect("connected");
     out.push_str(&format!(
         "| low-stretch (MWU ensemble) | {:.2} | {:.1} |\n",
         racke.measured_alpha(&g, &st),
@@ -514,8 +516,7 @@ pub fn ablation_decompose(n: usize) -> Experiment {
         } else {
             TreeDecomposition::sample(&tree, p, &mut rng)
         };
-        let run =
-            congest::treeops::distributed_subtree_sums(&network, &tree, &dec, &bfs, &values);
+        let run = congest::treeops::distributed_subtree_sums(&network, &tree, &dec, &bfs, &values);
         out.push_str(&format!(
             "| {:.3} | {} | {} | {} |\n",
             p, dec.num_components, dec.max_component_depth, run.cost.rounds

@@ -107,10 +107,9 @@ impl CongestionApproximator {
         let mut rows = Vec::with_capacity(self.num_rows());
         for t in &self.trees {
             let sums = t.tree.subtree_sums(b.values());
-            for v in 0..self.num_nodes {
-                let cap = t.cut_capacity[v];
+            for (&sum, &cap) in sums.iter().zip(&t.cut_capacity).take(self.num_nodes) {
                 if cap > 0.0 {
-                    rows.push(sums[v] / cap);
+                    rows.push(sum / cap);
                 } else {
                     rows.push(0.0);
                 }
@@ -278,11 +277,7 @@ mod tests {
         let rb = approx.apply(&b);
         let rty = approx.apply_transpose(&y);
         let lhs: f64 = rb.iter().zip(&y).map(|(a, b)| a * b).sum();
-        let rhs: f64 = rty
-            .iter()
-            .zip(b.values())
-            .map(|(a, b)| a * b)
-            .sum();
+        let rhs: f64 = rty.iter().zip(b.values()).map(|(a, b)| a * b).sum();
         assert!(
             (lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()),
             "adjoint identity violated: {lhs} vs {rhs}"

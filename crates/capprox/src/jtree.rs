@@ -432,7 +432,9 @@ pub fn build_hierarchy(
         };
         let ensemble = build_tree_ensemble(
             &sparse,
-            &RackeConfig::default().with_num_trees(1).with_seed(level_seed),
+            &RackeConfig::default()
+                .with_num_trees(1)
+                .with_seed(level_seed),
         )?;
         let j = ((num_nodes as f64 / beta).ceil() as usize).max(1);
         let jtree = build_jtree(&sparse, &ensemble.trees[0], j);
@@ -460,7 +462,8 @@ pub fn build_hierarchy(
 /// Merges parallel edges of a multigraph, summing their capacities (step 9 of
 /// the centralized routine in §4).
 pub fn merge_parallel_edges(g: &Graph) -> Graph {
-    let mut sums: std::collections::BTreeMap<(usize, usize), f64> = std::collections::BTreeMap::new();
+    let mut sums: std::collections::BTreeMap<(usize, usize), f64> =
+        std::collections::BTreeMap::new();
     for (_, e) in g.edges() {
         let key = if e.tail.index() <= e.head.index() {
             (e.tail.index(), e.head.index())
@@ -483,11 +486,9 @@ mod tests {
     use flowgraph::gen;
 
     fn capacitated_tree(g: &Graph, seed: u64) -> CapacitatedTree {
-        let ensemble = build_tree_ensemble(
-            g,
-            &RackeConfig::default().with_num_trees(1).with_seed(seed),
-        )
-        .unwrap();
+        let ensemble =
+            build_tree_ensemble(g, &RackeConfig::default().with_num_trees(1).with_seed(seed))
+                .unwrap();
         ensemble.trees.into_iter().next().unwrap()
     }
 

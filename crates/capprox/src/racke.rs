@@ -271,7 +271,11 @@ mod tests {
         let ct = CapacitatedTree::new(&g, tree);
         for v in g.nodes() {
             if ct.tree.parent(v).is_some() {
-                assert!(ct.rload[v.index()] >= 1.0 - 1e-9, "rload at {v} is {}", ct.rload[v.index()]);
+                assert!(
+                    ct.rload[v.index()] >= 1.0 - 1e-9,
+                    "rload at {v} is {}",
+                    ct.rload[v.index()]
+                );
             }
         }
         assert!(ct.max_rload() >= 1.0);
@@ -280,8 +284,7 @@ mod tests {
     #[test]
     fn ensemble_has_requested_size_and_spanning_trees() {
         let g = gen::grid(6, 6, 1.0);
-        let ensemble =
-            build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(5)).unwrap();
+        let ensemble = build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(5)).unwrap();
         assert_eq!(ensemble.trees.len(), 5);
         assert_eq!(ensemble.stats.num_trees, 5);
         for t in &ensemble.trees {
@@ -303,16 +306,14 @@ mod tests {
         // should (because dropped edges keep their length while tree edges are
         // lengthened) eventually drop a different edge.
         let g = gen::cycle(20, 1.0);
-        let ensemble =
-            build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(6)).unwrap();
+        let ensemble = build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(6)).unwrap();
         let dropped: std::collections::HashSet<Vec<EdgeId>> = ensemble
             .trees
             .iter()
             .map(|t| {
                 let used: std::collections::HashSet<EdgeId> =
                     t.tree.graph_edges().into_iter().collect();
-                let mut d: Vec<EdgeId> =
-                    g.edge_ids().filter(|e| !used.contains(e)).collect();
+                let mut d: Vec<EdgeId> = g.edge_ids().filter(|e| !used.contains(e)).collect();
                 d.sort();
                 d
             })
@@ -326,8 +327,7 @@ mod tests {
     #[test]
     fn routing_on_tree_meets_demand() {
         let g = gen::grid(4, 4, 1.0);
-        let ensemble =
-            build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(2)).unwrap();
+        let ensemble = build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(2)).unwrap();
         let d = Demand::st(&g, NodeId(0), NodeId(15), 2.0);
         let f = route_on_tree(&g, &ensemble.trees[0], &d).unwrap();
         let ex = f.excess(&g);
@@ -347,8 +347,7 @@ mod tests {
     #[test]
     fn tree_cut_helper_matches_tree() {
         let g = gen::path(6, 1.0);
-        let ensemble =
-            build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(1)).unwrap();
+        let ensemble = build_tree_ensemble(&g, &RackeConfig::default().with_num_trees(1)).unwrap();
         let cut = tree_cut(&ensemble.trees[0], NodeId(3));
         assert!(cut.is_proper());
         assert_eq!(tree_graph_edges(&ensemble.trees[0]).len(), 5);

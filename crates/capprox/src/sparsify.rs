@@ -186,7 +186,10 @@ mod tests {
         // A barbell: the bridge is connectivity 1, must always be kept.
         let g = gen::barbell(6, 1, 1.0, 1.0);
         let s = sparsify(&g, &SparsifyConfig::default());
-        assert!(s.graph.is_connected(), "sparsifier must preserve connectivity");
+        assert!(
+            s.graph.is_connected(),
+            "sparsifier must preserve connectivity"
+        );
         // The bridge's keep probability is 1.
         let idx = forest_indices(&g);
         for (id, _) in g.edges() {

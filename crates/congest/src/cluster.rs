@@ -206,7 +206,11 @@ impl ClusterGraph {
     ///
     /// Panics if `values.len()` does not match the network size.
     pub fn aggregate_to_leaders(&self, values: &[f64]) -> (Vec<f64>, RoundCost) {
-        assert_eq!(values.len(), self.num_network_nodes(), "value vector length mismatch");
+        assert_eq!(
+            values.len(),
+            self.num_network_nodes(),
+            "value vector length mismatch"
+        );
         let sums = self.contracted.aggregate_node_values(values);
         (sums, RoundCost::rounds(self.max_cluster_depth() as u64))
     }
@@ -224,11 +228,7 @@ impl ClusterGraph {
             self.num_clusters(),
             "cluster value vector length mismatch"
         );
-        let per_node = self
-            .cluster_of
-            .iter()
-            .map(|&c| cluster_values[c])
-            .collect();
+        let per_node = self.cluster_of.iter().map(|&c| cluster_values[c]).collect();
         (per_node, RoundCost::rounds(self.max_cluster_depth() as u64))
     }
 
@@ -249,11 +249,7 @@ impl ClusterGraph {
             self.num_clusters(),
             "coarser labelling must cover every current cluster"
         );
-        let labels: Vec<usize> = self
-            .cluster_of
-            .iter()
-            .map(|&c| coarser_of[c])
-            .collect();
+        let labels: Vec<usize> = self.cluster_of.iter().map(|&c| coarser_of[c]).collect();
         ClusterGraph::from_partition(g, &labels)
     }
 }
@@ -308,7 +304,14 @@ mod tests {
         let c = ClusterGraph::from_partition(&g, &labels);
         let values: Vec<f64> = (0..12).map(|v| v as f64).collect();
         let (sums, cost) = c.aggregate_to_leaders(&values);
-        assert_eq!(sums, vec![0.0 + 1.0 + 2.0 + 3.0, 4.0 + 5.0 + 6.0 + 7.0, 8.0 + 9.0 + 10.0 + 11.0]);
+        assert_eq!(
+            sums,
+            vec![
+                0.0 + 1.0 + 2.0 + 3.0,
+                4.0 + 5.0 + 6.0 + 7.0,
+                8.0 + 9.0 + 10.0 + 11.0
+            ]
+        );
         assert_eq!(cost.rounds, 3);
         let (per_node, _) = c.broadcast_from_leaders(&sums);
         assert_eq!(per_node[0], 6.0);

@@ -161,10 +161,16 @@ impl std::fmt::Display for SimulationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimulationError::DuplicateSend { node, edge } => {
-                write!(f, "node {node} sent two messages over edge {edge} in one round")
+                write!(
+                    f,
+                    "node {node} sent two messages over edge {edge} in one round"
+                )
             }
             SimulationError::NotIncident { node, edge } => {
-                write!(f, "node {node} attempted to send over non-incident edge {edge}")
+                write!(
+                    f,
+                    "node {node} attempted to send over non-incident edge {edge}"
+                )
             }
             SimulationError::RoundLimitExceeded { max_rounds } => {
                 write!(f, "protocol did not terminate within {max_rounds} rounds")

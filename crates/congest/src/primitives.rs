@@ -43,7 +43,10 @@ pub fn build_bfs_tree(network: &Network, root: NodeId) -> BfsTreeResult {
     }
     let tree = RootedTree::from_parents(root, parent, parent_edge)
         .expect("BFS on a connected graph yields a spanning tree");
-    BfsTreeResult { tree, cost: run.cost }
+    BfsTreeResult {
+        tree,
+        cost: run.cost,
+    }
 }
 
 struct BfsProtocol {
@@ -101,7 +104,9 @@ impl Protocol for BfsProtocol {
             .iter()
             .min_by_key(|(e, _)| e.index())
             .expect("inbox non-empty");
-        let parent = view.neighbor_via(*edge).expect("message arrived over an incident edge");
+        let parent = view
+            .neighbor_via(*edge)
+            .expect("message arrived over an incident edge");
         state.joined = true;
         state.parent = Some((*edge, parent));
         view.incident
@@ -141,7 +146,10 @@ pub fn elect_leader(network: &Network) -> LeaderResult {
         .expect("flooding respects the CONGEST rules");
     let leader = NodeId(run.outputs[0]);
     debug_assert!(run.outputs.iter().all(|&b| b == run.outputs[0]));
-    LeaderResult { leader, cost: run.cost }
+    LeaderResult {
+        leader,
+        cost: run.cost,
+    }
 }
 
 struct MinIdFlood;
@@ -228,7 +236,10 @@ pub fn broadcast_over_tree(network: &Network, tree: &RootedTree, value: f64) -> 
         .run(network, &protocol)
         .expect("tree broadcast respects the CONGEST rules");
     let values = run.outputs;
-    BroadcastResult { values, cost: run.cost }
+    BroadcastResult {
+        values,
+        cost: run.cost,
+    }
 }
 
 struct TreeBroadcast<'a> {
@@ -317,7 +328,9 @@ impl<'a> Protocol for TreeBroadcast<'a> {
     }
 
     fn output(&self, _view: &LocalView, state: Self::State) -> Self::Output {
-        state.value.expect("broadcast reached every node of a spanning tree")
+        state
+            .value
+            .expect("broadcast reached every node of a spanning tree")
     }
 }
 
@@ -342,8 +355,16 @@ pub struct ConvergecastResult {
 ///
 /// Panics if `values.len()` differs from the node count or the tree is not a
 /// spanning subtree of the network graph.
-pub fn convergecast_sum(network: &Network, tree: &RootedTree, values: &[f64]) -> ConvergecastResult {
-    assert_eq!(values.len(), network.num_nodes(), "value vector length mismatch");
+pub fn convergecast_sum(
+    network: &Network,
+    tree: &RootedTree,
+    values: &[f64],
+) -> ConvergecastResult {
+    assert_eq!(
+        values.len(),
+        network.num_nodes(),
+        "value vector length mismatch"
+    );
     let protocol = TreeConvergecast { tree, values };
     let run = Simulator::new()
         .run(network, &protocol)
@@ -467,7 +488,10 @@ pub fn pipelined_convergecast(
         .run(network, &protocol)
         .expect("pipelined convergecast respects the CONGEST rules");
     let totals = run.outputs[tree.root().index()].clone();
-    PipelinedResult { totals, cost: run.cost }
+    PipelinedResult {
+        totals,
+        cost: run.cost,
+    }
 }
 
 struct PipelinedConvergecast<'a> {
@@ -583,7 +607,11 @@ mod tests {
         let result = build_bfs_tree(&network, NodeId(0));
         let dist = network.graph().bfs_distances(NodeId(0));
         for v in network.graph().nodes() {
-            assert_eq!(result.tree.depth(v), dist[v.index()], "depth mismatch at {v}");
+            assert_eq!(
+                result.tree.depth(v),
+                dist[v.index()],
+                "depth mismatch at {v}"
+            );
         }
         assert!(result.cost.rounds as usize >= result.tree.max_depth());
         assert!(result.cost.rounds as usize <= result.tree.max_depth() + 2);
@@ -637,7 +665,10 @@ mod tests {
         let result = pipelined_convergecast(&network, &bfs.tree, &per_node, k);
         for (i, total) in result.totals.iter().enumerate() {
             let expected: f64 = (0..network.num_nodes()).map(|v| (v * i) as f64).sum();
-            assert!((total - expected).abs() < 1e-9, "total mismatch at index {i}");
+            assert!(
+                (total - expected).abs() < 1e-9,
+                "total mismatch at index {i}"
+            );
         }
         let depth = bfs.tree.max_depth() as u64;
         // Pipelining: depth + k (+ slack), NOT depth * k.
@@ -662,5 +693,50 @@ mod tests {
         let network = grid_network();
         let bfs = build_bfs_tree(&network, NodeId(0));
         let _ = convergecast_sum(&network, &bfs.tree, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn bfs_round_accounting_tracks_eccentricity_on_every_family() {
+        // The BFS protocol must finish within ecc(root) + O(1) rounds on
+        // every workload family — the round bill may not hide a Θ(n) sweep.
+        for fam in gen::Family::ALL {
+            let network = Network::new(fam.generate(30, 3));
+            let result = build_bfs_tree(&network, NodeId(0));
+            let ecc = *network
+                .graph()
+                .bfs_distances(NodeId(0))
+                .iter()
+                .max()
+                .expect("non-empty graph");
+            assert_eq!(
+                result.tree.max_depth(),
+                ecc,
+                "family {fam}: wrong BFS depth"
+            );
+            assert!(
+                (result.cost.rounds as usize) >= ecc,
+                "family {fam}: BFS cannot beat the eccentricity"
+            );
+            assert!(
+                (result.cost.rounds as usize) <= ecc + 2,
+                "family {fam}: {} rounds for eccentricity {ecc}",
+                result.cost.rounds
+            );
+            // CONGEST bandwidth: BFS announcements fit in one word.
+            assert!(result.cost.max_message_words <= 1, "family {fam}");
+        }
+    }
+
+    #[test]
+    fn bfs_message_count_is_bounded_by_edge_work() {
+        // Every edge carries O(1) BFS announcements in each direction.
+        let network = grid_network();
+        let result = build_bfs_tree(&network, NodeId(0));
+        let m = network.graph().num_edges() as u64;
+        assert!(
+            result.cost.messages <= 4 * m,
+            "{} messages on {m} edges",
+            result.cost.messages
+        );
     }
 }

@@ -134,7 +134,11 @@ pub fn distributed_subtree_sums(
     bfs_tree: &RootedTree,
     values: &[f64],
 ) -> TreeAggregationResult {
-    assert_eq!(values.len(), network.num_nodes(), "value vector length mismatch");
+    assert_eq!(
+        values.len(),
+        network.num_nodes(),
+        "value vector length mismatch"
+    );
 
     // Phase 1 (real protocol): within-component subtree sums.
     let phase1 = forest_subtree_sums(network, tree, decomposition, values);
@@ -170,10 +174,13 @@ pub fn distributed_subtree_sums(
     // Phase 3 (real protocol): re-run the within-component aggregation with
     // the hanging-component totals added at the attachment nodes.
     let mut augmented = values.to_vec();
-    for c in 0..decomposition.num_components {
-        let root = decomposition.component_roots[c];
+    for (&root, &total) in decomposition
+        .component_roots
+        .iter()
+        .zip(&comp_subtree_total)
+    {
         if let Some(p) = tree.parent(root) {
-            augmented[p.index()] += comp_subtree_total[c];
+            augmented[p.index()] += total;
         }
     }
     let phase3 = forest_subtree_sums(network, tree, decomposition, &augmented);
@@ -202,7 +209,11 @@ pub fn distributed_prefix_sums(
     bfs_tree: &RootedTree,
     values: &[f64],
 ) -> TreeAggregationResult {
-    assert_eq!(values.len(), network.num_nodes(), "value vector length mismatch");
+    assert_eq!(
+        values.len(),
+        network.num_nodes(),
+        "value vector length mismatch"
+    );
 
     // Phase 1 (real protocol): prefix sums within each component (root of the
     // component acts as a local root with offset 0).
@@ -330,7 +341,9 @@ impl<'a> ForestAggregate<'a> {
             .children(v)
             .iter()
             .copied()
-            .filter(|c| self.decomposition.component[c.index()] == self.decomposition.component[v.index()])
+            .filter(|c| {
+                self.decomposition.component[c.index()] == self.decomposition.component[v.index()]
+            })
             .collect()
     }
 
@@ -357,7 +370,10 @@ impl<'a> Protocol for ForestAggregate<'a> {
                 };
                 let mut msgs = Vec::new();
                 if children.is_empty() && !self.is_component_root(v) {
-                    let e = self.tree.parent_edge(v).expect("non-root has a parent edge");
+                    let e = self
+                        .tree
+                        .parent_edge(v)
+                        .expect("non-root has a parent edge");
                     msgs.push((e, AggMsg(state.acc)));
                     state.sent = true;
                 }
@@ -402,7 +418,10 @@ impl<'a> Protocol for ForestAggregate<'a> {
                 }
                 if !state.sent && state.pending == 0 && !self.is_component_root(v) {
                     state.sent = true;
-                    let e = self.tree.parent_edge(v).expect("non-root has a parent edge");
+                    let e = self
+                        .tree
+                        .parent_edge(v)
+                        .expect("non-root has a parent edge");
                     return vec![(e, AggMsg(state.acc))];
                 }
                 Vec::new()
@@ -466,7 +485,10 @@ mod tests {
         let p = TreeDecomposition::recommended_probability(400);
         let dec = TreeDecomposition::sample(&tree, p, &mut rng);
         assert!(dec.num_components > 1);
-        assert!(dec.max_component_depth < 399, "decomposition must cut the path");
+        assert!(
+            dec.max_component_depth < 399,
+            "decomposition must cut the path"
+        );
         // sanity: every node's component root is an ancestor in the same component
         for v in 0..400 {
             let c = dec.component[v];
@@ -490,12 +512,10 @@ mod tests {
         let values: Vec<f64> = (0..60).map(|v| (v % 7) as f64 - 3.0).collect();
         let result = distributed_subtree_sums(&network, &tree, &dec, &bfs, &values);
         let expected = tree.subtree_sums(&values);
-        for v in 0..60 {
+        for (v, (got, want)) in result.values.iter().zip(&expected).enumerate() {
             assert!(
-                (result.values[v] - expected[v]).abs() < 1e-9,
-                "subtree sum mismatch at node {v}: {} vs {}",
-                result.values[v],
-                expected[v]
+                (got - want).abs() < 1e-9,
+                "subtree sum mismatch at node {v}: {got} vs {want}"
             );
         }
         assert!(result.cost.rounds > 0);
@@ -509,12 +529,10 @@ mod tests {
         let values: Vec<f64> = (0..60).map(|v| ((v * 13) % 5) as f64).collect();
         let result = distributed_prefix_sums(&network, &tree, &dec, &bfs, &values);
         let expected = tree.prefix_sums_from_root(&values);
-        for v in 0..60 {
+        for (v, (got, want)) in result.values.iter().zip(&expected).enumerate() {
             assert!(
-                (result.values[v] - expected[v]).abs() < 1e-9,
-                "prefix sum mismatch at node {v}: {} vs {}",
-                result.values[v],
-                expected[v]
+                (got - want).abs() < 1e-9,
+                "prefix sum mismatch at node {v}: {got} vs {want}"
             );
         }
     }
@@ -531,9 +549,9 @@ mod tests {
         let naive = distributed_subtree_sums(&network, &tree, &trivial, &bfs, &values);
         // Correctness for both.
         let expected = tree.subtree_sums(&values);
-        for v in 0..900 {
-            assert!((decomposed.values[v] - expected[v]).abs() < 1e-9);
-            assert!((naive.values[v] - expected[v]).abs() < 1e-9);
+        for (v, want) in expected.iter().enumerate() {
+            assert!((decomposed.values[v] - want).abs() < 1e-9);
+            assert!((naive.values[v] - want).abs() < 1e-9);
         }
         // Phase-1/3 cost of the naive version is ~2*depth = ~1800 rounds; the
         // decomposed version should pay far less in tree rounds but more in

@@ -62,10 +62,7 @@ pub fn smax(values: &[f64]) -> f64 {
         return 0.0;
     }
     let m = values.iter().fold(0.0f64, |acc, &y| acc.max(y.abs()));
-    let sum: f64 = values
-        .iter()
-        .map(|&y| (y - m).exp() + (-y - m).exp())
-        .sum();
+    let sum: f64 = values.iter().map(|&y| (y - m).exp() + (-y - m).exp()).sum();
     m + sum.ln()
 }
 
@@ -202,10 +199,7 @@ pub fn potential_and_gradient(
     alpha: f64,
 ) -> (f64, Vec<f64>) {
     // φ1 = smax(C⁻¹ f).
-    let scaled_flow: Vec<f64> = g
-        .edge_ids()
-        .map(|e| f.get(e) / g.capacity(e))
-        .collect();
+    let scaled_flow: Vec<f64> = g.edge_ids().map(|e| f.get(e) / g.capacity(e)).collect();
     let phi1 = smax(&scaled_flow);
     let w1 = smax_weights(&scaled_flow, phi1);
 
@@ -244,7 +238,11 @@ mod tests {
     #[test]
     fn smax_matches_direct_computation() {
         let y = [0.5, -1.0, 2.0];
-        let direct: f64 = y.iter().map(|&v: &f64| v.exp() + (-v).exp()).sum::<f64>().ln();
+        let direct: f64 = y
+            .iter()
+            .map(|&v: &f64| v.exp() + (-v).exp())
+            .sum::<f64>()
+            .ln();
         assert!((smax(&y) - direct).abs() < 1e-12);
         assert_eq!(smax(&[]), 0.0);
         // Stability for large values.

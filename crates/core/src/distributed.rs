@@ -126,8 +126,7 @@ pub fn distributed_approx_max_flow(
     let unit_values = vec![1.0; n];
     let mut per_iteration = RoundCost::ZERO;
     for cap_tree in &ensemble.trees {
-        let decomposition =
-            TreeDecomposition::sample(&cap_tree.tree, cut_probability, &mut rng);
+        let decomposition = TreeDecomposition::sample(&cap_tree.tree, cut_probability, &mut rng);
         let up = distributed_subtree_sums(
             &network,
             &cap_tree.tree,
@@ -208,7 +207,11 @@ pub fn distributed_tree_routing_cost(
     let network = Network::new(g.clone());
     let bfs = build_bfs_tree(&network, tree.root());
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let dec = TreeDecomposition::sample(tree, TreeDecomposition::recommended_probability(n), &mut rng);
+    let dec = TreeDecomposition::sample(
+        tree,
+        TreeDecomposition::recommended_probability(n),
+        &mut rng,
+    );
     let values = vec![1.0; n];
     let run = distributed_subtree_sums(&network, tree, &dec, &bfs.tree, &values);
     (bfs.cost.then(run.cost), bfs.tree.max_depth())
@@ -241,8 +244,7 @@ mod tests {
     #[test]
     fn round_breakdown_is_consistent() {
         let g = gen::grid(5, 5, 1.0);
-        let dist =
-            distributed_approx_max_flow(&g, NodeId(0), NodeId(24), &config(3)).unwrap();
+        let dist = distributed_approx_max_flow(&g, NodeId(0), NodeId(24), &config(3)).unwrap();
         let r = &dist.rounds;
         let summed = r
             .bfs_construction

@@ -128,7 +128,9 @@ pub fn route_demand(
         return Err(GraphError::Empty);
     }
     let m = g.num_edges().max(2);
-    let phases = config.phases.unwrap_or((m as f64).log2().ceil() as usize + 1);
+    let phases = config
+        .phases
+        .unwrap_or((m as f64).log2().ceil() as usize + 1);
     let ar_config = AlmostRouteConfig {
         // Algorithm 1 calls AlmostRoute with ε = 1/2 in every phase; the
         // outer ε only controls the final scaling accuracy. We pass the outer
@@ -261,15 +263,11 @@ pub fn approx_max_flow_with(
     if tree_congestion.is_finite() && tree_congestion > 0.0 {
         let tree_value = 1.0 / tree_congestion;
         if tree_value > value {
-            if let Some(best) = r
-                .trees()
-                .iter()
-                .min_by(|a, b| {
-                    a.tree_routing_congestion(g, &unit)
-                        .partial_cmp(&b.tree_routing_congestion(g, &unit))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-            {
+            if let Some(best) = r.trees().iter().min_by(|a, b| {
+                a.tree_routing_congestion(g, &unit)
+                    .partial_cmp(&b.tree_routing_congestion(g, &unit))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }) {
                 let mut tree_flow = best.tree.route_demand_on_graph(g, &unit)?;
                 tree_flow.scale(tree_value);
                 flow = tree_flow;
@@ -312,7 +310,10 @@ mod tests {
                 .flow
                 .validate_st_flow(&g, s, t, 1e-6)
                 .unwrap_or_else(|e| panic!("family {fam}: infeasible flow: {e}"));
-            assert!((value - result.value).abs() < 1e-6 * (1.0 + value.abs()), "family {fam}");
+            assert!(
+                (value - result.value).abs() < 1e-6 * (1.0 + value.abs()),
+                "family {fam}"
+            );
             assert!(
                 result.value <= result.upper_bound + 1e-9,
                 "family {fam}: value above certified upper bound"
@@ -328,7 +329,8 @@ mod tests {
         let mut g = Graph::with_nodes(5);
         let caps = [4.0, 2.0, 5.0, 3.0];
         for (i, &c) in caps.iter().enumerate() {
-            g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), c).unwrap();
+            g.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), c)
+                .unwrap();
         }
         let result = solve(&g, NodeId(0), NodeId(4), 0.1);
         assert!((result.value - 2.0).abs() < 1e-6, "value {}", result.value);
@@ -368,8 +370,8 @@ mod tests {
     #[test]
     fn route_demand_meets_demand_exactly() {
         let g = gen::grid(4, 4, 1.0);
-        let r = CongestionApproximator::build(&g, &RackeConfig::default().with_num_trees(4))
-            .unwrap();
+        let r =
+            CongestionApproximator::build(&g, &RackeConfig::default().with_num_trees(4)).unwrap();
         let b = Demand::st(&g, NodeId(0), NodeId(15), 1.5);
         let routing = route_demand(&g, &r, &b, &MaxFlowConfig::default()).unwrap();
         let ex = routing.flow.excess(&g);

@@ -32,7 +32,11 @@ impl ContractedGraph {
     ///
     /// Panics if `cluster_of.len() != g.num_nodes()` or labels are not dense.
     pub fn new(g: &Graph, cluster_of: &[usize]) -> Self {
-        assert_eq!(cluster_of.len(), g.num_nodes(), "cluster labelling length mismatch");
+        assert_eq!(
+            cluster_of.len(),
+            g.num_nodes(),
+            "cluster labelling length mismatch"
+        );
         let num_clusters = cluster_of.iter().copied().max().map_or(0, |m| m + 1);
         let mut members = vec![Vec::new(); num_clusters];
         for (v, &c) in cluster_of.iter().enumerate() {
@@ -92,7 +96,11 @@ impl ContractedGraph {
 
     /// Aggregates per-base-node values to per-cluster sums.
     pub fn aggregate_node_values(&self, values: &[f64]) -> Vec<f64> {
-        assert_eq!(values.len(), self.cluster_of.len(), "value vector length mismatch");
+        assert_eq!(
+            values.len(),
+            self.cluster_of.len(),
+            "value vector length mismatch"
+        );
         let mut out = vec![0.0; self.num_clusters()];
         for (v, &c) in self.cluster_of.iter().enumerate() {
             out[c] += values[v];

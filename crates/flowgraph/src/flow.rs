@@ -25,7 +25,9 @@ pub struct FlowVec {
 impl FlowVec {
     /// The all-zero flow on a graph with `m` edges.
     pub fn zeros(m: usize) -> Self {
-        FlowVec { values: vec![0.0; m] }
+        FlowVec {
+            values: vec![0.0; m],
+        }
     }
 
     /// Creates a flow vector from raw per-edge values.
@@ -77,7 +79,11 @@ impl FlowVec {
     ///
     /// Panics if the two vectors have different lengths.
     pub fn add_assign(&mut self, other: &FlowVec) {
-        assert_eq!(self.len(), other.len(), "flow vectors must cover the same edge set");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "flow vectors must cover the same edge set"
+        );
         for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
             *a += b;
         }
@@ -184,7 +190,9 @@ pub struct Demand {
 impl Demand {
     /// The all-zero demand for a graph with `n` nodes.
     pub fn zeros(n: usize) -> Self {
-        Demand { values: vec![0.0; n] }
+        Demand {
+            values: vec![0.0; n],
+        }
     }
 
     /// Creates a demand from raw per-node values.
@@ -282,7 +290,11 @@ mod tests {
     use crate::graph::GraphBuilder;
 
     fn path3() -> Graph {
-        GraphBuilder::new(3).edge(0, 1, 2.0).edge(1, 2, 1.0).build().unwrap()
+        GraphBuilder::new(3)
+            .edge(0, 1, 2.0)
+            .edge(1, 2, 1.0)
+            .build()
+            .unwrap()
     }
 
     #[test]

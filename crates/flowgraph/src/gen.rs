@@ -69,10 +69,12 @@ pub fn grid(rows: usize, cols: usize, capacity: f64) -> Graph {
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
-                g.add_edge(id(r, c), id(r, c + 1), capacity).expect("valid grid edge");
+                g.add_edge(id(r, c), id(r, c + 1), capacity)
+                    .expect("valid grid edge");
             }
             if r + 1 < rows {
-                g.add_edge(id(r, c), id(r + 1, c), capacity).expect("valid grid edge");
+                g.add_edge(id(r, c), id(r + 1, c), capacity)
+                    .expect("valid grid edge");
             }
         }
     }
@@ -105,7 +107,8 @@ pub fn star(n: usize, capacity: f64) -> Graph {
     assert!(n > 0, "star requires at least one node");
     let mut g = Graph::with_nodes(n);
     for i in 1..n {
-        g.add_edge(NodeId(0), NodeId(i as u32), capacity).expect("valid star edge");
+        g.add_edge(NodeId(0), NodeId(i as u32), capacity)
+            .expect("valid star edge");
     }
     g
 }
@@ -184,8 +187,7 @@ pub fn random_regular(n: usize, d: usize, capacity: f64, seed: u64) -> Graph {
         let mut perm: Vec<usize> = (0..n).collect();
         use rand::seq::SliceRandom;
         perm.shuffle(&mut rng);
-        for i in 0..n {
-            let (u, v) = (i, perm[i]);
+        for (u, &v) in perm.iter().enumerate() {
             if u != v {
                 g.add_edge(NodeId(u as u32), NodeId(v as u32), capacity)
                     .expect("valid permutation edge");
@@ -224,7 +226,11 @@ pub fn barbell(k: usize, bridge_len: usize, clique_capacity: f64, bridge_capacit
     // Bridge from node k-1 (last of clique A) to node k+bridge_len-1 (first of clique B).
     let mut prev = k - 1;
     for step in 0..bridge_len {
-        let next = if step + 1 == bridge_len { k + bridge_len - 1 } else { k + step };
+        let next = if step + 1 == bridge_len {
+            k + bridge_len - 1
+        } else {
+            k + step
+        };
         g.add_edge(NodeId(prev as u32), NodeId(next as u32), bridge_capacity)
             .expect("valid bridge edge");
         prev = next;
@@ -292,7 +298,10 @@ pub fn barabasi_albert(n: usize, attach: usize, cap_range: (f64, f64), seed: u64
 ///
 /// Panics if `layers == 0` or `width == 0`.
 pub fn layered_st(layers: usize, width: usize, cap_range: (f64, f64), seed: u64) -> Graph {
-    assert!(layers >= 1 && width >= 1, "layers and width must be positive");
+    assert!(
+        layers >= 1 && width >= 1,
+        "layers and width must be positive"
+    );
     let mut rng = rng(seed);
     let n = 2 + layers * width;
     let mut g = Graph::with_nodes(n);
@@ -307,15 +316,69 @@ pub fn layered_st(layers: usize, width: usize, cap_range: (f64, f64), seed: u64)
         for i in 0..width {
             for j in 0..width {
                 let c = rng.gen_range(cap_range.0..=cap_range.1);
-                g.add_edge(node(l, i), node(l + 1, j), c).expect("valid layer edge");
+                g.add_edge(node(l, i), node(l + 1, j), c)
+                    .expect("valid layer edge");
             }
         }
     }
     for i in 0..width {
         let c = rng.gen_range(cap_range.0..=cap_range.1);
-        g.add_edge(node(layers - 1, i), t, c).expect("valid sink edge");
+        g.add_edge(node(layers - 1, i), t, c)
+            .expect("valid sink edge");
     }
     g
+}
+
+/// Datacenter-like two-tier leaf–spine fabric ("fat-tree"): every leaf switch
+/// connects to every spine with capacity `fabric_capacity`, and each leaf
+/// aggregates `hosts_per_leaf` hosts over `host_capacity` uplinks.
+///
+/// Node layout: hosts come first, rack by rack (`leaves * hosts_per_leaf`
+/// nodes), then the leaf switches, then the spines. Hence node 0 is a host in
+/// the first rack and the natural cross-fabric terminals are
+/// `(NodeId(0), NodeId(leaves * hosts_per_leaf - 1))` — a host in the last
+/// rack — which is what [`fat_tree_terminals`] returns.
+///
+/// # Panics
+///
+/// Panics if any dimension is zero or a capacity is not strictly positive.
+pub fn fat_tree(
+    leaves: usize,
+    spines: usize,
+    hosts_per_leaf: usize,
+    host_capacity: f64,
+    fabric_capacity: f64,
+) -> Graph {
+    assert!(
+        leaves >= 2 && spines >= 1 && hosts_per_leaf >= 1,
+        "fat tree requires at least two leaves, one spine and one host per leaf"
+    );
+    assert!(
+        host_capacity > 0.0 && fabric_capacity > 0.0,
+        "fat tree capacities must be strictly positive"
+    );
+    let hosts = leaves * hosts_per_leaf;
+    let mut g = Graph::with_nodes(hosts + leaves + spines);
+    let host = |rack: usize, i: usize| NodeId((rack * hosts_per_leaf + i) as u32);
+    let leaf = |i: usize| NodeId((hosts + i) as u32);
+    let spine = |i: usize| NodeId((hosts + leaves + i) as u32);
+    for l in 0..leaves {
+        for s in 0..spines {
+            g.add_edge(leaf(l), spine(s), fabric_capacity)
+                .expect("valid fabric edge");
+        }
+        for h in 0..hosts_per_leaf {
+            g.add_edge(host(l, h), leaf(l), host_capacity)
+                .expect("valid host uplink");
+        }
+    }
+    g
+}
+
+/// The natural cross-fabric terminal pair for [`fat_tree`]: the first host of
+/// the first rack and the last host of the last rack.
+pub fn fat_tree_terminals(leaves: usize, hosts_per_leaf: usize) -> (NodeId, NodeId) {
+    (NodeId(0), NodeId((leaves * hosts_per_leaf - 1) as u32))
 }
 
 /// The source/sink pair conventionally used with each generated family: node
@@ -486,7 +549,10 @@ mod tests {
     fn family_generation_is_connected() {
         for fam in Family::ALL {
             let g = fam.generate(40, 11);
-            assert!(g.is_connected(), "family {fam} produced a disconnected graph");
+            assert!(
+                g.is_connected(),
+                "family {fam} produced a disconnected graph"
+            );
             assert!(g.num_nodes() >= 4);
         }
     }
@@ -495,5 +561,22 @@ mod tests {
     #[should_panic(expected = "path requires")]
     fn path_zero_panics() {
         let _ = path(0, 1.0);
+    }
+
+    #[test]
+    fn fat_tree_structure() {
+        let g = fat_tree(4, 2, 3, 10.0, 40.0);
+        // 12 hosts + 4 leaves + 2 spines.
+        assert_eq!(g.num_nodes(), 18);
+        // 4*2 fabric edges + 12 host uplinks.
+        assert_eq!(g.num_edges(), 8 + 12);
+        assert!(g.is_connected());
+        let (s, t) = fat_tree_terminals(4, 3);
+        assert_eq!(s, NodeId(0));
+        assert_eq!(t, NodeId(11));
+        // Host uplink is the bottleneck for host-to-host flow.
+        assert!((g.weighted_degree(s) - 10.0).abs() < 1e-12);
+        // Fabric tier: every leaf reaches every spine.
+        assert_eq!(g.degree(NodeId(12)), 2 + 3);
     }
 }

@@ -314,7 +314,9 @@ impl Graph {
         if self.num_nodes() == 0 {
             return true;
         }
-        self.bfs_distances(NodeId(0)).iter().all(|&d| d != usize::MAX)
+        self.bfs_distances(NodeId(0))
+            .iter()
+            .all(|&d| d != usize::MAX)
     }
 
     /// The hop diameter of the graph (longest shortest path in hops),
@@ -360,7 +362,7 @@ impl Graph {
             .enumerate()
             .max_by_key(|(_, &d)| if d == usize::MAX { 0 } else { d })
             .expect("non-empty");
-        if d0.iter().any(|&d| d == usize::MAX) {
+        if d0.contains(&usize::MAX) {
             return Err(GraphError::NotConnected);
         }
         let _ = maxd;
@@ -579,7 +581,11 @@ mod tests {
 
     #[test]
     fn disconnected_graph_detected() {
-        let g = GraphBuilder::new(4).unit_edge(0, 1).unit_edge(2, 3).build().unwrap();
+        let g = GraphBuilder::new(4)
+            .unit_edge(0, 1)
+            .unit_edge(2, 3)
+            .build()
+            .unwrap();
         assert!(!g.is_connected());
         assert!(matches!(g.hop_diameter(), Err(GraphError::NotConnected)));
         let (comp, k) = g.components();
@@ -618,7 +624,11 @@ mod tests {
 
     #[test]
     fn builder_example_compiles() {
-        let g = GraphBuilder::new(3).edge(0, 1, 2.0).edge(1, 2, 3.0).build().unwrap();
+        let g = GraphBuilder::new(3)
+            .edge(0, 1, 2.0)
+            .edge(1, 2, 3.0)
+            .build()
+            .unwrap();
         assert_eq!(g.num_edges(), 2);
     }
 }

@@ -46,7 +46,9 @@ pub mod unionfind;
 pub use cut::Cut;
 pub use flow::{Demand, FlowVec};
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
-pub use spanning::{bfs_tree, max_weight_spanning_tree, minimum_spanning_tree, random_spanning_tree};
+pub use spanning::{
+    bfs_tree, max_weight_spanning_tree, minimum_spanning_tree, random_spanning_tree,
+};
 pub use tree::RootedTree;
 pub use unionfind::UnionFind;
 
@@ -87,10 +89,16 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node index {node} out of range for graph with {num_nodes} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for graph with {num_nodes} nodes"
+                )
             }
             GraphError::EdgeOutOfRange { edge, num_edges } => {
-                write!(f, "edge index {edge} out of range for graph with {num_edges} edges")
+                write!(
+                    f,
+                    "edge index {edge} out of range for graph with {num_edges} edges"
+                )
             }
             GraphError::InvalidWeight { value } => {
                 write!(f, "weight {value} is not a strictly positive finite number")

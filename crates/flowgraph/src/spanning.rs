@@ -245,7 +245,11 @@ mod tests {
 
     #[test]
     fn disconnected_graph_errors() {
-        let g = GraphBuilder::new(4).edge(0, 1, 1.0).edge(2, 3, 1.0).build().unwrap();
+        let g = GraphBuilder::new(4)
+            .edge(0, 1, 1.0)
+            .edge(2, 3, 1.0)
+            .build()
+            .unwrap();
         assert!(bfs_tree(&g, NodeId(0)).is_err());
         assert!(max_weight_spanning_tree(&g, NodeId(0)).is_err());
         assert!(shortest_path_tree(&g, NodeId(0), |_| 1.0).is_err());
@@ -259,5 +263,81 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn bfs_tree_matches_graph_distances_on_known_graphs() {
+        // On a grid and a cycle the BFS depths must equal the graph's hop
+        // distances node by node, and parent edges must step one level up.
+        for g in [crate::gen::grid(4, 5, 1.0), crate::gen::cycle(11, 1.0)] {
+            let t = bfs_tree(&g, NodeId(0)).unwrap();
+            let dist = g.bfs_distances(NodeId(0));
+            for v in g.nodes() {
+                assert_eq!(t.depth(v), dist[v.index()], "depth mismatch at {v}");
+                if let Some(p) = t.parent(v) {
+                    assert_eq!(t.depth(v), t.depth(p) + 1, "parent of {v} not one level up");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mst_weight_matches_brute_force_on_known_graph() {
+        // K4 with distinct weights: brute-force over all 16 spanning trees.
+        let g = GraphBuilder::new(4)
+            .edge(0, 1, 1.0)
+            .edge(0, 2, 2.0)
+            .edge(0, 3, 3.0)
+            .edge(1, 2, 4.0)
+            .edge(1, 3, 5.0)
+            .edge(2, 3, 6.0)
+            .build()
+            .unwrap();
+        let edge_ids: Vec<EdgeId> = g.edge_ids().collect();
+        let mut best_min = f64::INFINITY;
+        let mut best_max = f64::NEG_INFINITY;
+        for mask in 0u32..(1 << edge_ids.len()) {
+            if mask.count_ones() != 3 {
+                continue;
+            }
+            let chosen: Vec<EdgeId> = edge_ids
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &e)| e)
+                .collect();
+            let (sub, _) = g.edge_subgraph(&chosen);
+            if !sub.is_connected() {
+                continue;
+            }
+            let w: f64 = chosen.iter().map(|&e| g.capacity(e)).sum();
+            best_min = best_min.min(w);
+            best_max = best_max.max(w);
+        }
+        let mst = minimum_spanning_tree(&g, NodeId(0), |e| g.capacity(e)).unwrap();
+        let mst_w: f64 = mst.graph_edges().iter().map(|&e| g.capacity(e)).sum();
+        assert!(
+            (mst_w - best_min).abs() < 1e-12,
+            "MST {mst_w} vs brute force {best_min}"
+        );
+        let mwst = max_weight_spanning_tree(&g, NodeId(0)).unwrap();
+        let mwst_w: f64 = mwst.graph_edges().iter().map(|&e| g.capacity(e)).sum();
+        assert!(
+            (mwst_w - best_max).abs() < 1e-12,
+            "MWST {mwst_w} vs brute force {best_max}"
+        );
+    }
+
+    #[test]
+    fn spanning_constructions_are_deterministic_across_runs() {
+        let g = crate::gen::random_gnp(24, 0.3, (1.0, 9.0), 5);
+        let a = minimum_spanning_tree(&g, NodeId(0), |e| g.capacity(e)).unwrap();
+        let b = minimum_spanning_tree(&g, NodeId(0), |e| g.capacity(e)).unwrap();
+        assert_eq!(a.graph_edges(), b.graph_edges());
+        let mut r1 = ChaCha8Rng::seed_from_u64(21);
+        let mut r2 = ChaCha8Rng::seed_from_u64(21);
+        let t1 = random_spanning_tree(&g, NodeId(0), &mut r1).unwrap();
+        let t2 = random_spanning_tree(&g, NodeId(0), &mut r2).unwrap();
+        assert_eq!(t1.graph_edges(), t2.graph_edges());
     }
 }

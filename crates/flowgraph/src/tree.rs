@@ -57,8 +57,8 @@ impl RootedTree {
             });
         }
         let mut children = vec![Vec::new(); n];
-        for v in 0..n {
-            if let Some(p) = parent[v] {
+        for (v, &p) in parent.iter().enumerate() {
+            if let Some(p) = p {
                 if p.index() >= n {
                     return Err(GraphError::NodeOutOfRange {
                         node: p.index(),
@@ -194,9 +194,7 @@ impl RootedTree {
     ///
     /// Returns `None` for the root or when neither is available.
     pub fn parent_capacity(&self, g: &Graph, v: NodeId) -> Option<f64> {
-        if self.parent[v.index()].is_none() {
-            return None;
-        }
+        self.parent[v.index()]?;
         if let Some(c) = self.parent_capacity[v.index()] {
             return Some(c);
         }
@@ -205,9 +203,9 @@ impl RootedTree {
 
     /// Iterates over the tree edges as `(child, parent)` pairs.
     pub fn tree_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.order.iter().filter_map(move |&v| {
-            self.parent[v.index()].map(|p| (v, p))
-        })
+        self.order
+            .iter()
+            .filter_map(move |&v| self.parent[v.index()].map(|p| (v, p)))
     }
 
     /// The graph edges used by this tree (when it is a spanning subtree).
@@ -270,7 +268,11 @@ impl RootedTree {
 
     /// Per-node sums over subtrees: `out[v] = Σ_{w in subtree(v)} values[w]`.
     pub fn subtree_sums(&self, values: &[f64]) -> Vec<f64> {
-        assert_eq!(values.len(), self.num_nodes(), "value vector length mismatch");
+        assert_eq!(
+            values.len(),
+            self.num_nodes(),
+            "value vector length mismatch"
+        );
         let mut sums = values.to_vec();
         for &v in self.order.iter().rev() {
             if let Some(p) = self.parent(v) {
@@ -287,7 +289,11 @@ impl RootedTree {
     /// This is the "downcast" aggregation used to accumulate node potentials
     /// (§9.1).
     pub fn prefix_sums_from_root(&self, values: &[f64]) -> Vec<f64> {
-        assert_eq!(values.len(), self.num_nodes(), "value vector length mismatch");
+        assert_eq!(
+            values.len(),
+            self.num_nodes(),
+            "value vector length mismatch"
+        );
         let mut out = vec![0.0; self.num_nodes()];
         for &v in &self.order {
             let base = match self.parent(v) {
@@ -521,7 +527,9 @@ mod tests {
         assert!((per_node[1] + 2.0).abs() < 1e-12);
         assert!((per_node[3] + 2.0).abs() < 1e-12);
         let f = t.route_demand_on_graph(&g, &d).unwrap();
-        let val = f.validate_st_flow(&g, NodeId(0), NodeId(3), 1e-6).unwrap_err();
+        let val = f
+            .validate_st_flow(&g, NodeId(0), NodeId(3), 1e-6)
+            .unwrap_err();
         // capacity 1.0 is violated by routing 2 units on the path; the check
         // reports the offending value.
         let _ = val;
@@ -542,8 +550,11 @@ mod tests {
         assert!(d.is_balanced(1e-12));
         let f = t.route_demand_on_graph(&g, &d).unwrap();
         let ex = f.excess(&g);
-        for v in 0..4 {
-            assert!((ex[v] - d.get(NodeId(v as u32))).abs() < 1e-9, "excess mismatch at {v}");
+        for (v, x) in ex.iter().enumerate().take(4) {
+            assert!(
+                (x - d.get(NodeId(v as u32))).abs() < 1e-9,
+                "excess mismatch at {v}"
+            );
         }
     }
 

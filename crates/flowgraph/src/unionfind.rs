@@ -138,4 +138,60 @@ mod tests {
         let uf = UnionFind::new(3);
         assert_eq!(uf.len(), 3);
     }
+
+    #[test]
+    fn find_compresses_paths() {
+        // Build a chain 0 <- 1 <- 2 <- ... <- 9 by hand so the tree is deep,
+        // then verify one find() flattens every node on the walked path
+        // directly onto the root.
+        let mut uf = UnionFind::new(10);
+        for i in 1..10 {
+            uf.parent[i] = i - 1;
+        }
+        let root = uf.find(9);
+        assert_eq!(root, 0);
+        for i in 0..10 {
+            assert_eq!(uf.parent[i], 0, "node {i} not compressed onto the root");
+        }
+    }
+
+    #[test]
+    fn union_by_rank_bounds_tree_height() {
+        // Union-by-rank guarantees rank <= log2(n); with n = 256 sequential
+        // unions in the worst adversarial order the max rank must stay <= 8.
+        let mut uf = UnionFind::new(256);
+        for i in 1..256 {
+            uf.union(0, i);
+        }
+        assert_eq!(uf.num_sets(), 1);
+        assert!(uf.rank.iter().all(|&r| r <= 8), "rank exceeded log2(n)");
+    }
+
+    #[test]
+    fn matches_a_naive_reference_model() {
+        // Deterministic randomized differential test against a label-array
+        // reference implementation.
+        use rand::{Rng, SeedableRng};
+        let n = 60;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let mut uf = UnionFind::new(n);
+        let mut reference: Vec<usize> = (0..n).collect();
+        for _ in 0..200 {
+            let (x, y) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            let merged = uf.union(x, y);
+            let (lx, ly) = (reference[x], reference[y]);
+            assert_eq!(merged, lx != ly);
+            if lx != ly {
+                for l in reference.iter_mut() {
+                    if *l == ly {
+                        *l = lx;
+                    }
+                }
+            }
+            let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            assert_eq!(uf.same(a, b), reference[a] == reference[b]);
+        }
+        let distinct: std::collections::HashSet<usize> = reference.iter().copied().collect();
+        assert_eq!(uf.num_sets(), distinct.len());
+    }
 }

@@ -218,7 +218,11 @@ pub fn low_stretch_spanning_tree(
         active_class = (active_class + 1).min(num_classes + 1);
     }
 
-    debug_assert_eq!(tree_edges.len(), n - 1, "AKPW must select exactly n-1 edges");
+    debug_assert_eq!(
+        tree_edges.len(),
+        n - 1,
+        "AKPW must select exactly n-1 edges"
+    );
     let tree = RootedTree::spanning_from_edges(g, NodeId(0), &tree_edges)?;
     Ok(LowStretchResult { tree, stats })
 }
@@ -262,7 +266,11 @@ mod tests {
             let lengths: Vec<f64> = g.edge_ids().map(|e| 1.0 / g.capacity(e)).collect();
             let r = low_stretch_spanning_tree(&g, &lengths, &LowStretchConfig::default())
                 .unwrap_or_else(|e| panic!("family {fam}: {e}"));
-            assert_eq!(r.tree.graph_edges().len(), g.num_nodes() - 1, "family {fam}");
+            assert_eq!(
+                r.tree.graph_edges().len(),
+                g.num_nodes() - 1,
+                "family {fam}"
+            );
         }
     }
 
@@ -329,9 +337,7 @@ mod tests {
 
         let g = gen::path(3, 1.0);
         assert!(low_stretch_spanning_tree(&g, &[1.0], &LowStretchConfig::default()).is_err());
-        assert!(
-            low_stretch_spanning_tree(&g, &[1.0, -2.0], &LowStretchConfig::default()).is_err()
-        );
+        assert!(low_stretch_spanning_tree(&g, &[1.0, -2.0], &LowStretchConfig::default()).is_err());
 
         let disconnected = {
             let mut g = Graph::with_nodes(4);
@@ -358,8 +364,7 @@ mod tests {
     fn theoretical_config_works() {
         let g = gen::grid(6, 6, 1.0);
         let lengths = unit_lengths(&g);
-        let r =
-            low_stretch_spanning_tree(&g, &lengths, &LowStretchConfig::theoretical()).unwrap();
+        let r = low_stretch_spanning_tree(&g, &lengths, &LowStretchConfig::theoretical()).unwrap();
         assert_eq!(r.tree.graph_edges().len(), 35);
         // With the theoretical z the whole graph fits in one length class.
         assert_eq!(r.stats.num_classes, 1);
@@ -376,4 +381,3 @@ mod tests {
         assert_eq!(r.tree.graph_edges().len(), 9);
     }
 }
-

@@ -70,9 +70,9 @@ pub fn split_graph(
     }
     let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<Item>> =
         std::collections::BinaryHeap::new();
-    for v in 0..n {
+    for (v, &delay) in delays.iter().enumerate().take(n) {
         heap.push(std::cmp::Reverse(Item {
-            time: delays[v],
+            time: delay,
             center: v as u32,
             node: v as u32,
             via_edge: 0,
@@ -113,7 +113,8 @@ pub fn split_graph(
     let mut cluster_of = vec![0usize; n];
     let mut max_radius = 0usize;
     for v in 0..n {
-        let (center, time) = owner[v].expect("every node is claimed (it is its own candidate center)");
+        let (center, time) =
+            owner[v].expect("every node is claimed (it is its own candidate center)");
         let next = label_of_center.len();
         let label = *label_of_center.entry(center).or_insert_with(|| {
             centers.push(NodeId(center));

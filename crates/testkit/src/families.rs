@@ -1,0 +1,110 @@
+//! Named, seeded workload instances for the oracle suites.
+//!
+//! Each [`Instance`] bundles a connected graph, the terminal pair the oracles
+//! route between, and the seed it was generated from, so every failure
+//! message pinpoints a reproducible workload.
+
+use flowgraph::{gen, Graph, NodeId};
+
+/// One reproducible workload: a graph plus its terminal pair.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Family name used in failure messages (e.g. `"grid"`).
+    pub name: &'static str,
+    /// The connected instance graph.
+    pub graph: Graph,
+    /// Flow source.
+    pub s: NodeId,
+    /// Flow sink.
+    pub t: NodeId,
+    /// The seed the instance was generated from.
+    pub seed: u64,
+}
+
+impl Instance {
+    fn from_family(name: &'static str, graph: Graph, seed: u64) -> Self {
+        let (s, t) = gen::default_terminals(&graph);
+        Instance {
+            name,
+            graph,
+            s,
+            t,
+            seed,
+        }
+    }
+}
+
+/// The distinct graph families the `(1+ε)` oracle is required to pass on:
+/// path, grid, expander, random `G(n,p)` and a datacenter-like fat-tree —
+/// five structurally different workloads (line, mesh, low-diameter,
+/// unstructured, hierarchical), all seeded.
+pub fn oracle_families(n: usize, seed: u64) -> Vec<Instance> {
+    let n = n.max(9);
+    let side = (n as f64).sqrt().round().max(2.0) as usize;
+    let leaves = (n / 8).clamp(2, 8);
+    let spines = (leaves / 2).max(2);
+    let hosts = ((n.saturating_sub(leaves + spines)) / leaves).max(1);
+    let fat = gen::fat_tree(leaves, spines, hosts, 10.0, 40.0);
+    let (fs, ft) = gen::fat_tree_terminals(leaves, hosts);
+    vec![
+        Instance::from_family("path", gen::path(n, 1.0), seed),
+        Instance::from_family("grid", gen::grid(side, side, 1.0), seed),
+        Instance::from_family("expander", gen::random_regular(n, 6, 1.0, seed), seed),
+        Instance::from_family(
+            "gnp",
+            gen::random_gnp(n, (8.0 / n as f64).min(1.0), (1.0, 10.0), seed),
+            seed,
+        ),
+        Instance {
+            name: "fat_tree",
+            graph: fat,
+            s: fs,
+            t: ft,
+            seed,
+        },
+    ]
+}
+
+/// Instances for the CONGEST round-shape checks: one low-diameter family
+/// (expander), one high-diameter family (path) and the mesh in between, so
+/// the `D + √n` bound is stressed from both sides.
+pub fn congest_families(n: usize, seed: u64) -> Vec<Instance> {
+    let n = n.max(9);
+    let side = (n as f64).sqrt().round().max(2.0) as usize;
+    vec![
+        Instance::from_family("expander", gen::random_regular(n, 6, 1.0, seed), seed),
+        Instance::from_family("grid", gen::grid(side, side, 1.0), seed),
+        Instance::from_family("path", gen::path(n, 1.0), seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_families_are_connected_distinct_and_deterministic() {
+        let a = oracle_families(40, 3);
+        let b = oracle_families(40, 3);
+        assert_eq!(a.len(), 5);
+        let mut names: Vec<_> = a.iter().map(|i| i.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 5, "family names must be distinct");
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.graph.is_connected(), "family {} disconnected", x.name);
+            assert_eq!(x.graph, y.graph, "family {} not deterministic", x.name);
+            assert_ne!(x.s, x.t, "family {} has degenerate terminals", x.name);
+        }
+    }
+
+    #[test]
+    fn congest_families_cover_both_diameter_regimes() {
+        let fams = congest_families(64, 1);
+        let diam: Vec<usize> = fams
+            .iter()
+            .map(|i| i.graph.approx_hop_diameter().unwrap())
+            .collect();
+        // The path's diameter dwarfs the expander's.
+        assert!(diam[2] > 4 * diam[0], "diameters {diam:?}");
+    }
+}

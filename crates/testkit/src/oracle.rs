@@ -1,0 +1,266 @@
+//! Exact-flow oracles: every approximate answer is checked against the exact
+//! optimum computed by an independent algorithm.
+//!
+//! The bracket being enforced on each instance is
+//!
+//! ```text
+//! (1 - ε - slack) · OPT  ≤  value(approx)  ≤  OPT + tol
+//! OPT ≤ certified upper bound + tol
+//! |value(dinic) - value(push_relabel)| ≤ tol
+//! ```
+//!
+//! where `OPT` comes from Dinic's algorithm and the returned flow is
+//! additionally validated edge by edge for feasibility and conservation.
+
+use crate::families::Instance;
+use capprox::RackeConfig;
+use maxflow::MaxFlowConfig;
+
+/// Oracle tolerances and the solver configuration under test.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Target approximation quality `ε` handed to the solver.
+    pub epsilon: f64,
+    /// Extra multiplicative slack granted below `(1 - ε)` for the small
+    /// iteration budgets used in tests (the asymptotic guarantee assumes
+    /// `O(ε⁻³)` iterations, which tiny test budgets deliberately undershoot).
+    pub quality_slack: f64,
+    /// Absolute numerical tolerance for value comparisons.
+    pub tol: f64,
+    /// Iteration budget per scaling phase.
+    pub max_iterations_per_phase: usize,
+    /// Number of scaling phases.
+    pub phases: usize,
+    /// Seed for the congestion approximator's tree samples.
+    pub seed: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            epsilon: 0.1,
+            quality_slack: 0.2,
+            tol: 1e-6,
+            max_iterations_per_phase: 4_000,
+            phases: 3,
+            seed: 2,
+        }
+    }
+}
+
+impl OracleConfig {
+    /// The `MaxFlowConfig` this oracle run hands to the solver.
+    pub fn solver_config(&self) -> MaxFlowConfig {
+        MaxFlowConfig {
+            epsilon: self.epsilon,
+            racke: RackeConfig::default().with_seed(self.seed),
+            alpha: None,
+            max_iterations_per_phase: self.max_iterations_per_phase,
+            phases: Some(self.phases),
+        }
+    }
+
+    /// The lowest admissible `value / OPT` ratio.
+    pub fn quality_floor(&self) -> f64 {
+        (1.0 - self.epsilon - self.quality_slack).max(0.0)
+    }
+}
+
+/// Measurements from a passing oracle check.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Family name of the instance checked.
+    pub family: &'static str,
+    /// The exact optimum (Dinic).
+    pub exact: f64,
+    /// The approximate value.
+    pub approx: f64,
+    /// `approx / exact`.
+    pub ratio: f64,
+    /// The certified upper bound returned by the solver.
+    pub upper_bound: f64,
+    /// Gradient iterations spent.
+    pub iterations: usize,
+}
+
+/// A violated oracle invariant, with enough context to reproduce.
+#[derive(Debug, Clone)]
+pub struct OracleError {
+    /// Family name of the offending instance.
+    pub family: &'static str,
+    /// Seed of the offending instance.
+    pub seed: u64,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "oracle violation on family `{}` (seed {}): {}",
+            self.family, self.seed, self.message
+        )
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+fn violation(inst: &Instance, message: String) -> OracleError {
+    OracleError {
+        family: inst.name,
+        seed: inst.seed,
+        message,
+    }
+}
+
+/// Checks the centralized solver against the Dinic optimum on one instance:
+/// the returned flow must be feasible, its value must land in the
+/// `(1 ± ε)`-style bracket, and the certificate must bound the optimum.
+pub fn check_solver_against_exact(
+    inst: &Instance,
+    config: &OracleConfig,
+) -> Result<OracleReport, OracleError> {
+    let exact = baselines::dinic::max_flow(&inst.graph, inst.s, inst.t)
+        .map_err(|e| violation(inst, format!("dinic failed: {e}")))?;
+    let approx = maxflow::approx_max_flow(&inst.graph, inst.s, inst.t, &config.solver_config())
+        .map_err(|e| violation(inst, format!("solver failed: {e}")))?;
+
+    let validated = approx
+        .flow
+        .validate_st_flow(&inst.graph, inst.s, inst.t, config.tol)
+        .map_err(|e| violation(inst, format!("returned flow is infeasible: {e}")))?;
+    if (validated - approx.value).abs() > config.tol * (1.0 + approx.value.abs()) {
+        return Err(violation(
+            inst,
+            format!(
+                "reported value {} disagrees with the validated flow value {validated}",
+                approx.value
+            ),
+        ));
+    }
+    if approx.value > exact.value + config.tol {
+        return Err(violation(
+            inst,
+            format!(
+                "approximate value {} exceeds the exact optimum {} — the flow cannot be feasible",
+                approx.value, exact.value
+            ),
+        ));
+    }
+    let floor = config.quality_floor() * exact.value;
+    if approx.value < floor - config.tol {
+        return Err(violation(
+            inst,
+            format!(
+                "approximate value {} is below the (1-ε-slack) floor {floor} (exact {})",
+                approx.value, exact.value
+            ),
+        ));
+    }
+    if exact.value > approx.upper_bound + config.tol {
+        return Err(violation(
+            inst,
+            format!(
+                "certified upper bound {} fails to bound the optimum {}",
+                approx.upper_bound, exact.value
+            ),
+        ));
+    }
+    Ok(OracleReport {
+        family: inst.name,
+        exact: exact.value,
+        approx: approx.value,
+        ratio: approx.value / exact.value.max(f64::MIN_POSITIVE),
+        upper_bound: approx.upper_bound,
+        iterations: approx.iterations,
+    })
+}
+
+/// Checks that the two independent exact algorithms (Dinic, push-relabel)
+/// agree on the optimum — guarding the oracle itself against regressions.
+pub fn check_exact_baselines_agree(inst: &Instance, tol: f64) -> Result<f64, OracleError> {
+    let d = baselines::dinic::max_flow(&inst.graph, inst.s, inst.t)
+        .map_err(|e| violation(inst, format!("dinic failed: {e}")))?;
+    let pr = baselines::push_relabel::max_flow(&inst.graph, inst.s, inst.t)
+        .map_err(|e| violation(inst, format!("push-relabel failed: {e}")))?;
+    if (d.value - pr.value).abs() > tol * (1.0 + d.value.abs()) {
+        return Err(violation(
+            inst,
+            format!("dinic {} and push-relabel {} disagree", d.value, pr.value),
+        ));
+    }
+    Ok(d.value)
+}
+
+/// Checks that the round-accounted distributed execution computes exactly the
+/// same flow as the centralized solver (the paper's algorithm is
+/// deterministic given the approximator, so the values must match to
+/// numerical noise, not just within ε).
+pub fn check_distributed_matches_centralized(
+    inst: &Instance,
+    config: &OracleConfig,
+) -> Result<f64, OracleError> {
+    let cfg = config.solver_config();
+    let central = maxflow::approx_max_flow(&inst.graph, inst.s, inst.t, &cfg)
+        .map_err(|e| violation(inst, format!("centralized solver failed: {e}")))?;
+    let dist = maxflow::distributed_approx_max_flow(&inst.graph, inst.s, inst.t, &cfg)
+        .map_err(|e| violation(inst, format!("distributed solver failed: {e}")))?;
+    if (central.value - dist.result.value).abs() > config.tol {
+        return Err(violation(
+            inst,
+            format!(
+                "distributed value {} diverges from centralized value {}",
+                dist.result.value, central.value
+            ),
+        ));
+    }
+    if central.iterations != dist.result.iterations {
+        return Err(violation(
+            inst,
+            format!(
+                "distributed run spent {} iterations, centralized spent {}",
+                dist.result.iterations, central.iterations
+            ),
+        ));
+    }
+    Ok(central.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::oracle_families;
+
+    #[test]
+    fn oracle_passes_on_a_small_grid() {
+        let inst = oracle_families(25, 1)
+            .into_iter()
+            .find(|i| i.name == "grid")
+            .expect("grid family exists");
+        let report = check_solver_against_exact(&inst, &OracleConfig::default()).unwrap();
+        assert!(report.ratio <= 1.0 + 1e-9);
+        assert!(report.ratio >= OracleConfig::default().quality_floor());
+    }
+
+    #[test]
+    fn oracle_rejects_a_rigged_floor() {
+        // With zero slack and eps ~ 0 the floor is ~1.0; a tiny iteration
+        // budget cannot reach it, so the oracle must flag the shortfall —
+        // proving the check actually bites.
+        let inst = oracle_families(25, 1)
+            .into_iter()
+            .find(|i| i.name == "gnp")
+            .expect("gnp family exists");
+        let config = OracleConfig {
+            epsilon: 0.01,
+            quality_slack: 0.0,
+            max_iterations_per_phase: 1,
+            phases: 1,
+            ..OracleConfig::default()
+        };
+        let err = check_solver_against_exact(&inst, &config)
+            .expect_err("1 iteration cannot reach a 0.99 quality floor");
+        assert!(err.message.contains("floor"), "unexpected failure: {err}");
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline mini-criterion.
+//!
+//! The workspace's benches are written against the `criterion` API, but this
+//! build environment has no registry access, so the used subset is
+//! implemented locally with genuine wall-clock measurement:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (benches must set
+//! `harness = false`, as with real criterion).
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples, and
+//! reports min/mean/max nanoseconds per iteration on stdout. When the
+//! `BENCH_JSON` environment variable names a file, one JSON line per
+//! benchmark is appended to it — the repository's `BENCH_seed.json` baseline
+//! is produced this way. `MINI_CRITERION_SAMPLES` overrides every group's
+//! sample count (useful to smoke-run benches in CI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Opaque identity function that prevents the optimizer from deleting a
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), param),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures handed to it by benchmark routines.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    samples_target: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` through warm-up plus `sample_size` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: two untimed runs to populate caches/allocator state.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.samples_target {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples_ns.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Report {
+    group: String,
+    id: String,
+    min_ns: u128,
+    mean_ns: u128,
+    max_ns: u128,
+    samples: usize,
+}
+
+fn emit(report: &Report) {
+    println!(
+        "bench {group}/{id:<40} min {min} ns  mean {mean} ns  max {max} ns  ({n} samples)",
+        group = report.group,
+        id = report.id,
+        min = report.min_ns,
+        mean = report.mean_ns,
+        max = report.max_ns,
+        n = report.samples,
+    );
+    if let Some(path) = std::env::var_os("BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"group\":\"{}\",\"id\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+                report.group, report.id, report.min_ns, report.mean_ns, report.max_ns, report.samples,
+            );
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        std::env::var("MINI_CRITERION_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.sample_size)
+            .max(1)
+    }
+
+    /// Benchmarks `routine` under the given id.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            samples_target: self.effective_samples(),
+        };
+        routine(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with an input value under the given id.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            samples_target: self.effective_samples(),
+        };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Finishes the group (reports are emitted eagerly, so this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        if bencher.samples_ns.is_empty() {
+            return;
+        }
+        let n = bencher.samples_ns.len();
+        emit(&Report {
+            group: self.name.clone(),
+            id: id.id.clone(),
+            min_ns: *bencher.samples_ns.iter().min().expect("non-empty"),
+            mean_ns: bencher.samples_ns.iter().sum::<u128>() / n as u128,
+            max_ns: *bencher.samples_ns.iter().max().expect("non-empty"),
+            samples: n,
+        });
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a routine outside any group.
+    pub fn bench_function<R>(&mut self, id: &str, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, routine);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark targets, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(0.5).id, "0.5");
+    }
+
+    #[test]
+    fn group_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("test");
+        g.sample_size(3);
+        let mut ran = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        g.finish();
+        // 2 warm-up + 3 timed samples.
+        assert_eq!(ran, 5);
+    }
+}

@@ -1,0 +1,402 @@
+//! Offline deterministic mini-proptest.
+//!
+//! The workspace's property tests are written against the `proptest` API, but
+//! this build environment has no registry access, so this crate implements
+//! the used subset locally:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`, `#[test]`
+//!   attributes and `pattern in strategy` arguments),
+//! * [`strategy::Strategy`] with implementations for numeric ranges, tuples
+//!   and [`collection::vec`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * a deterministic [`test_runner`]: every case's RNG seed is derived from
+//!   the test name and case index, so runs are reproducible across machines
+//!   with no flakiness, and failing case seeds are persisted to
+//!   `proptest-regressions/` files that are replayed first on the next run.
+//!
+//! Unlike real proptest there is no shrinking: the persisted seed reproduces
+//! the failing case exactly, which is sufficient for the oracle-style suites
+//! in this repository.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A source of random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of values produced.
+        type Value;
+        /// Samples one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident : $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A: 0);
+    impl_tuple_strategy!(A: 0, B: 1);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2);
+    impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length sampled from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Creates a strategy producing vectors whose elements come from
+    /// `element` and whose length is sampled uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case execution, seed derivation and regression
+    //! persistence.
+
+    use rand::{RngCore, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use std::io::Write as _;
+    use std::path::PathBuf;
+
+    /// Per-test configuration (`#![proptest_config(..)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of fresh cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` fresh cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Failure raised by `prop_assert!` and friends inside a case body.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The RNG handed to strategies: ChaCha8 seeded per case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(ChaCha8Rng);
+
+    impl TestRng {
+        /// Creates the RNG for one case from its persisted/derived seed.
+        pub fn from_case_seed(seed: u64) -> Self {
+            TestRng(ChaCha8Rng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Stable FNV-1a hash used to derive the per-test base seed from its
+    /// name, so seeds do not depend on link order or platform.
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    fn regression_file(test_name: &str) -> Option<PathBuf> {
+        let dir = std::env::var_os("CARGO_MANIFEST_DIR")?;
+        let mut p = PathBuf::from(dir);
+        p.push("proptest-regressions");
+        p.push(format!("{test_name}.txt"));
+        Some(p)
+    }
+
+    /// Parses `cc <seed> [# comment]` lines from a regression file.
+    pub(crate) fn parse_regression_lines(contents: &str) -> Vec<u64> {
+        contents
+            .lines()
+            .filter_map(|l| l.trim().strip_prefix("cc "))
+            .filter_map(|s| s.split_whitespace().next())
+            .filter_map(|s| s.parse::<u64>().ok())
+            .collect()
+    }
+
+    fn load_regressions(test_name: &str) -> Vec<u64> {
+        let Some(path) = regression_file(test_name) else {
+            return Vec::new();
+        };
+        let Ok(contents) = std::fs::read_to_string(path) else {
+            return Vec::new();
+        };
+        parse_regression_lines(&contents)
+    }
+
+    fn persist_regression(test_name: &str, seed: u64) {
+        let Some(path) = regression_file(test_name) else {
+            return;
+        };
+        if load_regressions(test_name).contains(&seed) {
+            return;
+        }
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                f,
+                "cc {seed} # shrunk-free reproduction seed; delete the line once fixed"
+            );
+        }
+    }
+
+    /// Replays persisted regression seeds, then runs `config.cases` fresh
+    /// deterministic cases. Panics (and persists the seed) on the first
+    /// failing case.
+    pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(test_name);
+        let regressions = load_regressions(test_name);
+        let fresh = (0..config.cases as u64)
+            .map(|i| base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        for (kind, seed) in regressions
+            .iter()
+            .copied()
+            .map(|s| ("regression", s))
+            .chain(fresh.map(|s| ("case", s)))
+        {
+            let mut rng = TestRng::from_case_seed(seed);
+            // Catch panics from the case body (e.g. a stray .unwrap()) so
+            // that the reproduction seed is persisted for those failures
+            // too, not only for prop_assert! ones.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    persist_regression(test_name, seed);
+                    panic!(
+                        "proptest case failed for `{test_name}` ({kind} seed {seed}): {e}\n\
+                         the seed was persisted to proptest-regressions/{test_name}.txt \
+                         and will be replayed first on the next run"
+                    );
+                }
+                Err(payload) => {
+                    persist_regression(test_name, seed);
+                    eprintln!(
+                        "proptest case panicked for `{test_name}` ({kind} seed {seed}); \
+                         the seed was persisted to proptest-regressions/{test_name}.txt \
+                         and will be replayed first on the next run"
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines deterministic property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!{ @__impl($cfg) $($rest)* }
+    };
+    (@__impl($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(stringify!($name), &config, |__rng| {
+                    $(let $parm = $crate::strategy::Strategy::sample(&($strategy), __rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{ @__impl($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not the
+/// whole process) so the runner can report the reproduction seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 5usize..20, x in -1.0f64..1.0) {
+            prop_assert!((5..20).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_vectors_sample((a, b) in (0u64..100, 1usize..4), v in crate::collection::vec(0i32..10, 2..6)) {
+            prop_assert!(a < 100);
+            prop_assert!((1..4).contains(&b));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn regression_lines_round_trip_with_comments() {
+        // The persisted format carries a trailing comment; the loader must
+        // still recover the seed (this once regressed to an empty parse).
+        let contents = "cc 5879568024741218178 # shrunk-free reproduction seed\n\
+                        cc 42\n\
+                        not a regression line\n";
+        assert_eq!(
+            crate::test_runner::parse_regression_lines(contents),
+            vec![5879568024741218178, 42]
+        );
+    }
+
+    #[test]
+    fn same_name_same_values() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = (0u64..1000, 0usize..50);
+        let mut r1 = TestRng::from_case_seed(99);
+        let mut r2 = TestRng::from_case_seed(99);
+        for _ in 0..10 {
+            assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Offline compile-surface shim for `serde`.
+//!
+//! The workspace annotates its data types with
+//! `#[derive(Serialize, Deserialize)]` so that they are ready for real
+//! serialization, but this build environment has no registry access. This
+//! shim keeps those annotations compiling: [`Serialize`] and [`Deserialize`]
+//! are marker traits blanket-implemented for every type, and the derives
+//! (re-exported from the local `serde_derive`) emit nothing. No actual
+//! serialization is performed anywhere in the workspace today; replace this
+//! shim with the real `serde` when a registry is reachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`; blanket-implemented for all
+/// types by this shim.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize`; blanket-implemented for all
+/// types by this shim (the lifetime parameter mirrors the real trait).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -26,8 +26,10 @@ fn main() {
         phases: Some(2),
     };
 
-    println!("{:<10} {:>6} {:>6} {:>8} {:>14} {:>14} {:>14}",
-        "family", "n", "D", "D+sqrt n", "this work", "push-relabel", "per-iteration");
+    println!(
+        "{:<10} {:>6} {:>6} {:>8} {:>14} {:>14} {:>14}",
+        "family", "n", "D", "D+sqrt n", "this work", "push-relabel", "per-iteration"
+    );
     for fam in [gen::Family::Expander, gen::Family::Grid, gen::Family::Path] {
         let g = fam.generate(n, 11);
         let (s, t) = gen::default_terminals(&g);
@@ -50,11 +52,23 @@ fn main() {
     let (s, t) = gen::default_terminals(&g);
     let dist = distributed_approx_max_flow(&g, s, t, &config).expect("connected");
     println!("round breakdown on the expander instance:");
-    println!("  BFS construction         : {}", dist.rounds.bfs_construction.rounds);
-    println!("  approximator construction: {}", dist.rounds.approximator_construction.rounds);
-    println!("  gradient descent         : {}", dist.rounds.gradient_descent.rounds);
+    println!(
+        "  BFS construction         : {}",
+        dist.rounds.bfs_construction.rounds
+    );
+    println!(
+        "  approximator construction: {}",
+        dist.rounds.approximator_construction.rounds
+    );
+    println!(
+        "  gradient descent         : {}",
+        dist.rounds.gradient_descent.rounds
+    );
     println!("  residual repair          : {}", dist.rounds.repair.rounds);
     println!("  total                    : {}", dist.rounds.total.rounds);
-    println!("  flow value               : {:.3} (certified ≥ {:.0}% of optimum)",
-        dist.result.value, 100.0 * dist.result.certified_ratio());
+    println!(
+        "  flow value               : {:.3} (certified ≥ {:.0}% of optimum)",
+        dist.result.value,
+        100.0 * dist.result.certified_ratio()
+    );
 }

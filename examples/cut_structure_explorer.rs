@@ -36,11 +36,9 @@ fn main() {
         }
     }
 
-    let r = CongestionApproximator::build(
-        &g,
-        &RackeConfig::default().with_num_trees(12).with_seed(7),
-    )
-    .expect("city grid is connected");
+    let r =
+        CongestionApproximator::build(&g, &RackeConfig::default().with_num_trees(12).with_seed(7))
+            .expect("city grid is connected");
 
     // Rush hour: every west-side node sends one unit of traffic east.
     let mut demand = Demand::zeros(g.num_nodes());
@@ -61,11 +59,18 @@ fn main() {
 
     let lower = r.congestion_lower_bound(&demand);
     let upper = r.congestion_upper_bound(&g, &demand);
-    println!("city grid: {} nodes, {} edges, 3 bridges", g.num_nodes(), g.num_edges());
+    println!(
+        "city grid: {} nodes, {} edges, 3 bridges",
+        g.num_nodes(),
+        g.num_edges()
+    );
     println!("rush-hour demand: {sources} units west -> east");
     println!("congestion lower bound (any routing) : {lower:.2}x capacity");
     println!("congestion of best single-tree route : {upper:.2}x capacity");
-    println!("approximator quality on this demand  : {:.2}", r.measured_alpha(&g, &demand));
+    println!(
+        "approximator quality on this demand  : {:.2}",
+        r.measured_alpha(&g, &demand)
+    );
 
     // Which cut is the certificate? Report the most congested tree cut.
     let rows = r.apply(&demand);
@@ -76,7 +81,9 @@ fn main() {
         .unwrap();
     let tree_index = worst_row / g.num_nodes();
     let node_index = worst_row % g.num_nodes();
-    let cut = r.trees()[tree_index].tree.subtree_cut(NodeId(node_index as u32));
+    let cut = r.trees()[tree_index]
+        .tree
+        .subtree_cut(NodeId(node_index as u32));
     println!(
         "bottleneck certificate: a cut with {} nodes on one side and capacity {:.1}",
         cut.side_size().min(g.num_nodes() - cut.side_size()),

@@ -45,7 +45,10 @@ fn main() {
     let config = MaxFlowConfig::with_epsilon(0.1);
     let host_to_host = approx_max_flow(&g, s, t, &config).expect("fabric is connected");
     let exact = dinic::max_flow(&g, s, t).expect("valid terminals");
-    println!("host-to-host bandwidth      : {:.1} Gb/s (exact {:.1})", host_to_host.value, exact.value);
+    println!(
+        "host-to-host bandwidth      : {:.1} Gb/s (exact {:.1})",
+        host_to_host.value, exact.value
+    );
 
     let leaf_to_leaf = approx_max_flow(&g, leaf(0), leaf(leaves - 1), &config).expect("connected");
     let exact_leaf = dinic::max_flow(&g, leaf(0), leaf(leaves - 1)).expect("valid terminals");

@@ -23,7 +23,10 @@ fn main() {
     println!("exact max flow (Dinic)      : {:.4}", exact.value);
     println!("approximate max flow        : {:.4}", approx.value);
     println!("certified upper bound       : {:.4}", approx.upper_bound);
-    println!("certified approximation     : {:.1}%", 100.0 * approx.certified_ratio());
+    println!(
+        "certified approximation     : {:.1}%",
+        100.0 * approx.certified_ratio()
+    );
     println!("gradient iterations         : {}", approx.iterations);
     println!(
         "congestion approximator     : {} trees, {} rows",

@@ -19,14 +19,23 @@ fn bfs_broadcast_convergecast_roundtrip_on_all_families() {
         let network = Network::new(g);
         let bfs = build_bfs_tree(&network, NodeId(0));
         let b = broadcast_over_tree(&network, &bfs.tree, 3.25);
-        assert!(b.values.iter().all(|&v| (v - 3.25).abs() < 1e-12), "family {fam}");
+        assert!(
+            b.values.iter().all(|&v| (v - 3.25).abs() < 1e-12),
+            "family {fam}"
+        );
         let values: Vec<f64> = (0..n).map(|v| v as f64).collect();
         let c = convergecast_sum(&network, &bfs.tree, &values);
         let expected: f64 = values.iter().sum();
         assert!((c.root_value - expected).abs() < 1e-9, "family {fam}");
         // Round costs are bounded by the tree depth plus slack.
-        assert!(b.cost.rounds as usize <= bfs.tree.max_depth() + 2, "family {fam}");
-        assert!(c.cost.rounds as usize <= bfs.tree.max_depth() + 2, "family {fam}");
+        assert!(
+            b.cost.rounds as usize <= bfs.tree.max_depth() + 2,
+            "family {fam}"
+        );
+        assert!(
+            c.cost.rounds as usize <= bfs.tree.max_depth() + 2,
+            "family {fam}"
+        );
     }
 }
 

@@ -98,11 +98,9 @@ fn distributed_and_centralized_agree_on_the_flow_value() {
 #[test]
 fn reusing_the_approximator_across_terminal_pairs() {
     let g = gen::Family::Random.generate(36, 15);
-    let r = CongestionApproximator::build(
-        &g,
-        &RackeConfig::default().with_num_trees(6).with_seed(1),
-    )
-    .unwrap();
+    let r =
+        CongestionApproximator::build(&g, &RackeConfig::default().with_num_trees(6).with_seed(1))
+            .unwrap();
     let cfg = config(0.2, 1);
     for (s, t) in [(0u32, 35u32), (3, 30), (10, 20)] {
         let (s, t) = (NodeId(s), NodeId(t));
