@@ -30,7 +30,10 @@ struct Arc {
 
 struct DinicState {
     arcs: Vec<Arc>,
-    head: Vec<Vec<usize>>, // arc indices per node
+    /// Flat per-node arc lists in CSR layout: node `u`'s outgoing residual
+    /// arcs are `head_arcs[head_offsets[u]..head_offsets[u+1]]`.
+    head_offsets: Vec<u32>,
+    head_arcs: Vec<u32>,
     level: Vec<i32>,
     iter: Vec<usize>,
 }
@@ -39,9 +42,7 @@ impl DinicState {
     fn new(g: &Graph) -> Self {
         let n = g.num_nodes();
         let mut arcs = Vec::with_capacity(2 * g.num_edges());
-        let mut head = vec![Vec::new(); n];
         for (id, e) in g.edges() {
-            let a = arcs.len();
             arcs.push(Arc {
                 to: e.head.index(),
                 cap: e.capacity,
@@ -49,8 +50,6 @@ impl DinicState {
                 edge: id,
                 sign: 1.0,
             });
-            head[e.tail.index()].push(a);
-            let b = arcs.len();
             arcs.push(Arc {
                 to: e.tail.index(),
                 cap: e.capacity,
@@ -58,14 +57,30 @@ impl DinicState {
                 edge: id,
                 sign: -1.0,
             });
-            head[e.head.index()].push(b);
+        }
+        // Arc 2e leaves the tail, arc 2e+1 leaves the head; the graph's CSR
+        // gives each node's incident edges, so the per-node arc lists share
+        // its offsets.
+        let csr = g.csr();
+        let mut head_arcs = Vec::with_capacity(csr.num_slots());
+        for u in g.nodes() {
+            for &(e, _) in csr.incident(u) {
+                let a = 2 * e.index() + usize::from(g.edge(e).head == u);
+                head_arcs.push(a as u32);
+            }
         }
         DinicState {
             arcs,
-            head,
+            head_offsets: csr.offsets().to_vec(),
+            head_arcs,
             level: vec![-1; n],
             iter: vec![0; n],
         }
+    }
+
+    #[inline]
+    fn out_arcs(&self, u: usize) -> &[u32] {
+        &self.head_arcs[self.head_offsets[u] as usize..self.head_offsets[u + 1] as usize]
     }
 
     fn residual(&self, arc: usize) -> f64 {
@@ -78,8 +93,9 @@ impl DinicState {
         self.level[s] = 0;
         queue.push_back(s);
         while let Some(u) = queue.pop_front() {
-            for &a in &self.head[u] {
-                let arc = &self.arcs[a];
+            let range = self.head_offsets[u] as usize..self.head_offsets[u + 1] as usize;
+            for i in range {
+                let arc = &self.arcs[self.head_arcs[i] as usize];
                 if self.level[arc.to] < 0 && arc.cap - arc.flow > 1e-12 {
                     self.level[arc.to] = self.level[u] + 1;
                     queue.push_back(arc.to);
@@ -93,8 +109,8 @@ impl DinicState {
         if u == t {
             return pushed;
         }
-        while self.iter[u] < self.head[u].len() {
-            let a = self.head[u][self.iter[u]];
+        while self.iter[u] < self.out_arcs(u).len() {
+            let a = self.out_arcs(u)[self.iter[u]] as usize;
             let v = self.arcs[a].to;
             if self.level[v] == self.level[u] + 1 && self.residual(a) > 1e-12 {
                 let d = self.dfs(v, t, pushed.min(self.residual(a)));

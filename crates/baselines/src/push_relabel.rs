@@ -95,9 +95,8 @@ pub fn max_flow(g: &Graph, s: NodeId, t: NodeId) -> Result<PushRelabelFlow, Grap
     label[s.index()] = n;
 
     // Saturate all edges out of the source.
-    for &e in g.incident_edges(s) {
+    for &(e, other) in g.incident(s) {
         let cap = g.capacity(e);
-        let other = g.edge(e).other(s);
         res.push(g, e, s, cap);
         excess[other.index()] += cap;
         excess[s.index()] -= cap;
@@ -123,12 +122,11 @@ pub fn max_flow(g: &Graph, s: NodeId, t: NodeId) -> Result<PushRelabelFlow, Grap
         while excess[u.index()] > 1e-12 {
             // Try to push to an admissible neighbor.
             let mut pushed = false;
-            for &e in g.incident_edges(u) {
+            for &(e, v) in g.incident(u) {
                 let r = res.residual_from(g, e, u);
                 if r <= 1e-12 {
                     continue;
                 }
-                let v = g.edge(e).other(u);
                 if label[u.index()] == label[v.index()] + 1 {
                     let amount = excess[u.index()].min(r);
                     res.push(g, e, u, amount);
@@ -151,10 +149,10 @@ pub fn max_flow(g: &Graph, s: NodeId, t: NodeId) -> Result<PushRelabelFlow, Grap
             if !pushed {
                 // Relabel.
                 let min_label = g
-                    .incident_edges(u)
+                    .incident(u)
                     .iter()
-                    .filter(|&&e| res.residual_from(g, e, u) > 1e-12)
-                    .map(|&e| label[g.edge(e).other(u).index()])
+                    .filter(|&&(e, _)| res.residual_from(g, e, u) > 1e-12)
+                    .map(|&(_, v)| label[v.index()])
                     .min();
                 match min_label {
                     Some(l) => {
@@ -207,9 +205,8 @@ pub fn distributed_max_flow(
     label[s.index()] = n;
     let mut messages = 0u64;
 
-    for &e in g.incident_edges(s) {
+    for &(e, other) in g.incident(s) {
         let cap = g.capacity(e);
-        let other = g.edge(e).other(s);
         res.push(g, e, s, cap);
         excess[other.index()] += cap;
         excess[s.index()] -= cap;
@@ -235,12 +232,11 @@ pub fn distributed_max_flow(
         let mut relabels: Vec<(NodeId, usize)> = Vec::new();
         for &u in &active {
             let mut best: Option<(flowgraph::EdgeId, f64)> = None;
-            for &e in g.incident_edges(u) {
+            for &(e, v) in g.incident(u) {
                 let r = res.residual_from(g, e, u);
                 if r <= 1e-12 {
                     continue;
                 }
-                let v = g.edge(e).other(u);
                 if label_snapshot[u.index()] == label_snapshot[v.index()] + 1 {
                     best = Some((e, r));
                     break;
@@ -250,10 +246,10 @@ pub fn distributed_max_flow(
                 Some((e, r)) => pushes.push((u, e, excess[u.index()].min(r))),
                 None => {
                     let min_label = g
-                        .incident_edges(u)
+                        .incident(u)
                         .iter()
-                        .filter(|&&e| res.residual_from(g, e, u) > 1e-12)
-                        .map(|&e| label_snapshot[g.edge(e).other(u).index()])
+                        .filter(|&&(e, _)| res.residual_from(g, e, u) > 1e-12)
+                        .map(|&(_, v)| label_snapshot[v.index()])
                         .min();
                     if let Some(l) = min_label {
                         relabels.push((u, l + 1));

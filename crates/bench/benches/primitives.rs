@@ -1,12 +1,100 @@
 //! Criterion benchmarks for the CONGEST primitives (experiment E8): the
 //! simulator itself, BFS-tree construction, pipelined aggregation and the
-//! decomposed tree aggregations of Lemma 9.1.
+//! decomposed tree aggregations of Lemma 9.1, plus the `simulate_round`
+//! micro-benchmark comparing the zero-allocation arena engine against the
+//! allocation-per-round reference engine on the seeded fat-tree family.
 
+use congest::engine::{reference_run, Inbox, LocalView, Outbox, Simulator};
 use congest::primitives::{build_bfs_tree, convergecast_sum, pipelined_convergecast};
 use congest::treeops::{distributed_subtree_sums, TreeDecomposition};
-use congest::Network;
+use congest::{MessageSize, Network, Protocol};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flowgraph::{gen, spanning, NodeId};
+
+/// Full-load heartbeat: every node re-broadcasts on every incident edge for a
+/// fixed number of rounds. The steady state saturates all `2m` directed edge
+/// slots each round, which isolates the per-round engine overhead (delivery,
+/// mailbox management, node scheduling) from any protocol logic.
+struct Heartbeat {
+    rounds: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Beat;
+
+impl MessageSize for Beat {}
+
+impl Protocol for Heartbeat {
+    type Msg = Beat;
+    type State = ();
+    type Output = ();
+
+    fn init(&self, _view: &LocalView<'_>, outbox: &mut Outbox<'_, Beat>) -> Self::State {
+        outbox.broadcast(Beat);
+    }
+
+    fn round(
+        &self,
+        _view: &LocalView<'_>,
+        _state: &mut Self::State,
+        _inbox: &Inbox<'_, Beat>,
+        outbox: &mut Outbox<'_, Beat>,
+        round: u64,
+    ) {
+        if round < self.rounds {
+            outbox.broadcast(Beat);
+        }
+    }
+
+    fn is_terminated(&self, _state: &Self::State) -> bool {
+        true
+    }
+
+    fn output(&self, _view: &LocalView<'_>, _state: Self::State) -> Self::Output {}
+}
+
+/// A leaf–spine fat-tree sized to roughly `n` nodes (the `testkit::families`
+/// datacenter workload shape).
+fn fat_tree_network(n: usize) -> Network {
+    let leaves = ((n as f64).sqrt() as usize).max(2);
+    let spines = (leaves / 8).max(2);
+    let hosts = (n.saturating_sub(leaves + spines) / leaves).max(1);
+    Network::new(gen::fat_tree(leaves, spines, hosts, 10.0, 40.0))
+}
+
+/// Per-round engine overhead under full message load, arena engine vs. the
+/// legacy allocation-per-round execution shape. Divide the reported time by
+/// `HEARTBEAT_ROUNDS` for the per-round figure; the arena/legacy ratio at a
+/// given `n` is the acceptance metric of the engine rewrite.
+fn bench_simulate_round(c: &mut Criterion) {
+    const HEARTBEAT_ROUNDS: u64 = 8;
+    let mut group = c.benchmark_group("simulate_round");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let network = fat_tree_network(n);
+        let protocol = Heartbeat {
+            rounds: HEARTBEAT_ROUNDS,
+        };
+        group.bench_with_input(BenchmarkId::new("arena_fat_tree", n), &n, |b, _| {
+            b.iter(|| {
+                Simulator::new()
+                    .run(&network, &protocol)
+                    .expect("heartbeat respects the CONGEST rules")
+                    .cost
+                    .rounds
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("legacy_fat_tree", n), &n, |b, _| {
+            b.iter(|| {
+                reference_run(&network, &protocol, 1_000_000)
+                    .expect("heartbeat respects the CONGEST rules")
+                    .cost
+                    .rounds
+            })
+        });
+    }
+    group.finish();
+}
 
 fn bench_bfs_and_aggregation(c: &mut Criterion) {
     let mut group = c.benchmark_group("congest_primitives");
@@ -65,6 +153,7 @@ fn bench_tree_aggregation_lemma91(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_simulate_round,
     bench_bfs_and_aggregation,
     bench_tree_aggregation_lemma91
 );

@@ -109,17 +109,18 @@ pub fn build_jtree(g: &Graph, tree: &CapacitatedTree, j: usize) -> JTree {
     is_portal[root.index()] = true;
 
     // Step 4: skeleton of T \ F — iteratively strip degree-1 non-portals.
-    // Forest adjacency (tree edges not in F).
-    let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-    for v in g.nodes() {
-        if let Some(p) = tree.tree.parent(v) {
-            if !removed[v.index()] {
-                adj[v.index()].push(p);
-                adj[p.index()].push(v);
-            }
-        }
-    }
-    let mut degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+    // Forest adjacency (tree edges not in F) as a flat CSR over the parent
+    // links, using the child id as the link id.
+    let adj = flowgraph::Csr::from_links(
+        n,
+        (0..n as u32)
+            .map(NodeId)
+            .filter_map(|v| match tree.tree.parent(v) {
+                Some(p) if !removed[v.index()] => Some((EdgeId(v.0), v, p)),
+                _ => None,
+            }),
+    );
+    let mut degree: Vec<usize> = g.nodes().map(|v| adj.degree(v)).collect();
     let mut in_skeleton = vec![true; n];
     let mut queue: std::collections::VecDeque<NodeId> = g
         .nodes()
@@ -130,7 +131,7 @@ pub fn build_jtree(g: &Graph, tree: &CapacitatedTree, j: usize) -> JTree {
             continue;
         }
         in_skeleton[v.index()] = false;
-        for &w in &adj[v.index()] {
+        for &(_, w) in adj.incident(v) {
             if in_skeleton[w.index()] {
                 degree[w.index()] -= 1;
                 if degree[w.index()] <= 1 && !is_portal[w.index()] {
@@ -163,7 +164,7 @@ pub fn build_jtree(g: &Graph, tree: &CapacitatedTree, j: usize) -> JTree {
             if !in_skeleton[start.index()] || !is_portal[start.index()] {
                 continue;
             }
-            for &nb in &adj[start.index()] {
+            for &(_, nb) in adj.incident(start) {
                 if !in_skeleton[nb.index()] || visited[nb.index()] && is_portal[nb.index()] {
                     continue;
                 }
@@ -195,9 +196,10 @@ pub fn build_jtree(g: &Graph, tree: &CapacitatedTree, j: usize) -> JTree {
                     }
                     chain_nodes.push(cur);
                     // Continue to the next skeleton neighbor that is not prev.
-                    let next = adj[cur.index()]
+                    let next = adj
+                        .incident(cur)
                         .iter()
-                        .copied()
+                        .map(|&(_, w)| w)
                         .find(|&w| w != prev && in_skeleton[w.index()]);
                     match next {
                         Some(w) => {

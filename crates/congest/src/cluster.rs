@@ -52,10 +52,16 @@ impl ClusterGraph {
         let num_clusters = contracted.num_clusters();
         let mut leaders = Vec::with_capacity(num_clusters);
         let mut cluster_depths = Vec::with_capacity(num_clusters);
+        // Clusters partition the node set, so one shared depth array serves
+        // every per-cluster BFS (total work O(n + m) over all clusters).
+        let mut depth = vec![u32::MAX; g.num_nodes()];
+        let mut queue = std::collections::VecDeque::new();
         for members in &contracted.members {
             let leader = *members.iter().min().expect("clusters are non-empty");
             leaders.push(leader);
-            cluster_depths.push(Self::internal_bfs_depth(g, cluster_of, members, leader));
+            cluster_depths.push(Self::internal_bfs_depth(
+                g, cluster_of, members, leader, &mut depth, &mut queue,
+            ));
         }
         ClusterGraph {
             cluster_of: cluster_of.to_vec(),
@@ -101,29 +107,32 @@ impl ClusterGraph {
         cluster_of: &[usize],
         members: &[NodeId],
         leader: NodeId,
+        depth: &mut [u32],
+        queue: &mut std::collections::VecDeque<NodeId>,
     ) -> usize {
         let target = cluster_of[leader.index()];
-        let mut depth = std::collections::HashMap::new();
-        depth.insert(leader, 0usize);
-        let mut queue = std::collections::VecDeque::new();
+        depth[leader.index()] = 0;
+        queue.clear();
         queue.push_back(leader);
-        let mut max_depth = 0usize;
+        let mut max_depth = 0u32;
+        let mut reached = 1usize;
         while let Some(u) = queue.pop_front() {
-            let du = depth[&u];
-            for (_, w) in g.neighbors(u) {
-                if cluster_of[w.index()] == target && !depth.contains_key(&w) {
-                    depth.insert(w, du + 1);
+            let du = depth[u.index()];
+            for &(_, w) in g.incident(u) {
+                if cluster_of[w.index()] == target && depth[w.index()] == u32::MAX {
+                    depth[w.index()] = du + 1;
                     max_depth = max_depth.max(du + 1);
+                    reached += 1;
                     queue.push_back(w);
                 }
             }
         }
         assert_eq!(
-            depth.len(),
+            reached,
             members.len(),
             "cluster {target} does not induce a connected subgraph"
         );
-        max_depth
+        max_depth as usize
     }
 
     /// Number of clusters.

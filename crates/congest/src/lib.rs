@@ -48,4 +48,7 @@ pub mod primitives;
 pub mod treeops;
 
 pub use cost::RoundCost;
-pub use engine::{LocalView, Network, Protocol, RunResult, Simulator};
+pub use engine::{
+    DeliveryEvent, Inbox, LocalView, MessageSize, Network, Outbox, Protocol, RunResult, Simulator,
+    Transcript,
+};

@@ -5,12 +5,16 @@
 //!
 //! Each function wraps a [`Protocol`] run on the [`Simulator`], validates the
 //! result and returns both the computed object and the measured
-//! [`RoundCost`], so the higher layers can compose real measured costs.
+//! [`RoundCost`], so the higher layers can compose real measured costs. The
+//! protocols write directly into the engine's flat message arenas via
+//! [`Outbox`] and allocate nothing per round.
 
 use flowgraph::{EdgeId, NodeId, RootedTree};
 
 use crate::cost::RoundCost;
-use crate::engine::{LocalView, MessageSize, Network, Protocol, SimulationError, Simulator};
+use crate::engine::{
+    Inbox, LocalView, MessageSize, Network, Outbox, Protocol, SimulationError, Simulator,
+};
 
 /// Result of the distributed BFS-tree construction.
 #[derive(Debug, Clone)]
@@ -29,7 +33,7 @@ pub struct BfsTreeResult {
 /// Panics if the graph is disconnected (the paper assumes a connected
 /// network) or `root` is out of range.
 pub fn build_bfs_tree(network: &Network, root: NodeId) -> BfsTreeResult {
-    let protocol = BfsProtocol { root };
+    let protocol = BfsProtocol::new(root);
     let run = Simulator::new()
         .run(network, &protocol)
         .expect("BFS flooding respects the CONGEST rules");
@@ -49,16 +53,29 @@ pub fn build_bfs_tree(network: &Network, root: NodeId) -> BfsTreeResult {
     }
 }
 
-struct BfsProtocol {
+/// The level-synchronized BFS flooding protocol behind [`build_bfs_tree`].
+/// Public so differential suites can execute the same protocol on both the
+/// arena engine and the reference engine; each node outputs its
+/// `(parent edge, parent)` pair (`None` at the root).
+pub struct BfsProtocol {
     root: NodeId,
 }
 
+impl BfsProtocol {
+    /// A BFS flood rooted at `root`.
+    pub fn new(root: NodeId) -> Self {
+        BfsProtocol { root }
+    }
+}
+
+/// The (payload-free) join announcement of [`BfsProtocol`].
 #[derive(Clone, Debug)]
-struct BfsMsg;
+pub struct BfsMsg;
 
 impl MessageSize for BfsMsg {}
 
-struct BfsState {
+/// Per-node state of [`BfsProtocol`].
+pub struct BfsState {
     joined: bool,
     parent: Option<(EdgeId, NodeId)>,
 }
@@ -68,59 +85,54 @@ impl Protocol for BfsProtocol {
     type State = BfsState;
     type Output = Option<(EdgeId, NodeId)>;
 
-    fn init(&self, view: &LocalView) -> (Self::State, Vec<(EdgeId, Self::Msg)>) {
+    fn init(&self, view: &LocalView<'_>, outbox: &mut Outbox<'_, Self::Msg>) -> Self::State {
         if view.node == self.root {
-            let msgs = view.incident.iter().map(|(e, _, _)| (*e, BfsMsg)).collect();
-            (
-                BfsState {
-                    joined: true,
-                    parent: None,
-                },
-                msgs,
-            )
+            outbox.broadcast(BfsMsg);
+            BfsState {
+                joined: true,
+                parent: None,
+            }
         } else {
-            (
-                BfsState {
-                    joined: false,
-                    parent: None,
-                },
-                Vec::new(),
-            )
+            BfsState {
+                joined: false,
+                parent: None,
+            }
         }
     }
 
     fn round(
         &self,
-        view: &LocalView,
+        view: &LocalView<'_>,
         state: &mut Self::State,
-        inbox: &[(EdgeId, Self::Msg)],
+        inbox: &Inbox<'_, Self::Msg>,
+        outbox: &mut Outbox<'_, Self::Msg>,
         _round: u64,
-    ) -> Vec<(EdgeId, Self::Msg)> {
-        if state.joined || inbox.is_empty() {
-            return Vec::new();
+    ) {
+        if state.joined {
+            return;
         }
-        // Join via the first message (break ties by edge id for determinism).
-        let (edge, _) = inbox
-            .iter()
-            .min_by_key(|(e, _)| e.index())
-            .expect("inbox non-empty");
+        // Join via the smallest arrival edge id for determinism (the inbox
+        // order is the incident-edge order, so the first message is it).
+        let Some((edge, _)) = inbox.first() else {
+            return;
+        };
         let parent = view
-            .neighbor_via(*edge)
+            .neighbor_via(edge)
             .expect("message arrived over an incident edge");
         state.joined = true;
-        state.parent = Some((*edge, parent));
-        view.incident
-            .iter()
-            .filter(|(e, _, _)| e != edge)
-            .map(|(e, _, _)| (*e, BfsMsg))
-            .collect()
+        state.parent = Some((edge, parent));
+        for (i, &(e, _)) in view.incident_pairs().iter().enumerate() {
+            if e != edge {
+                outbox.send_at(i, BfsMsg);
+            }
+        }
     }
 
     fn is_terminated(&self, state: &Self::State) -> bool {
         state.joined
     }
 
-    fn output(&self, _view: &LocalView, state: Self::State) -> Self::Output {
+    fn output(&self, _view: &LocalView<'_>, state: Self::State) -> Self::Output {
         state.parent
     }
 }
@@ -169,39 +181,28 @@ impl Protocol for MinIdFlood {
     type State = MinState;
     type Output = u32;
 
-    fn init(&self, view: &LocalView) -> (Self::State, Vec<(EdgeId, Self::Msg)>) {
-        let msgs = view
-            .incident
-            .iter()
-            .map(|(e, _, _)| (*e, MinMsg(view.node.0)))
-            .collect();
-        (
-            MinState {
-                best: view.node.0,
-                announced: Some(view.node.0),
-            },
-            msgs,
-        )
+    fn init(&self, view: &LocalView<'_>, outbox: &mut Outbox<'_, Self::Msg>) -> Self::State {
+        outbox.broadcast(MinMsg(view.node.0));
+        MinState {
+            best: view.node.0,
+            announced: Some(view.node.0),
+        }
     }
 
     fn round(
         &self,
-        view: &LocalView,
+        _view: &LocalView<'_>,
         state: &mut Self::State,
-        inbox: &[(EdgeId, Self::Msg)],
+        inbox: &Inbox<'_, Self::Msg>,
+        outbox: &mut Outbox<'_, Self::Msg>,
         _round: u64,
-    ) -> Vec<(EdgeId, Self::Msg)> {
-        for (_, MinMsg(id)) in inbox {
+    ) {
+        for (_, MinMsg(id)) in inbox.iter() {
             state.best = state.best.min(*id);
         }
         if state.announced != Some(state.best) {
             state.announced = Some(state.best);
-            view.incident
-                .iter()
-                .map(|(e, _, _)| (*e, MinMsg(state.best)))
-                .collect()
-        } else {
-            Vec::new()
+            outbox.broadcast(MinMsg(state.best));
         }
     }
 
@@ -209,7 +210,7 @@ impl Protocol for MinIdFlood {
         true
     }
 
-    fn output(&self, _view: &LocalView, state: Self::State) -> Self::Output {
+    fn output(&self, _view: &LocalView<'_>, state: Self::State) -> Self::Output {
         state.best
     }
 }
@@ -258,16 +259,14 @@ struct BroadcastState {
 }
 
 impl<'a> TreeBroadcast<'a> {
-    fn child_edges(&self, v: NodeId) -> Vec<EdgeId> {
-        self.tree
-            .children(v)
-            .iter()
-            .map(|&c| {
-                self.tree
-                    .parent_edge(c)
-                    .expect("spanning tree children have realizing parent edges")
-            })
-            .collect()
+    fn send_to_children(&self, v: NodeId, value: f64, outbox: &mut Outbox<'_, ValueMsg>) {
+        for &c in self.tree.children(v) {
+            let e = self
+                .tree
+                .parent_edge(c)
+                .expect("spanning tree children have realizing parent edges");
+            outbox.send(e, ValueMsg(value));
+        }
     }
 }
 
@@ -276,58 +275,44 @@ impl<'a> Protocol for TreeBroadcast<'a> {
     type State = BroadcastState;
     type Output = f64;
 
-    fn init(&self, view: &LocalView) -> (Self::State, Vec<(EdgeId, Self::Msg)>) {
+    fn init(&self, view: &LocalView<'_>, outbox: &mut Outbox<'_, Self::Msg>) -> Self::State {
         if view.node == self.tree.root() {
-            let msgs = self
-                .child_edges(view.node)
-                .into_iter()
-                .map(|e| (e, ValueMsg(self.value)))
-                .collect();
-            (
-                BroadcastState {
-                    value: Some(self.value),
-                    forwarded: true,
-                },
-                msgs,
-            )
+            self.send_to_children(view.node, self.value, outbox);
+            BroadcastState {
+                value: Some(self.value),
+                forwarded: true,
+            }
         } else {
-            (
-                BroadcastState {
-                    value: None,
-                    forwarded: false,
-                },
-                Vec::new(),
-            )
+            BroadcastState {
+                value: None,
+                forwarded: false,
+            }
         }
     }
 
     fn round(
         &self,
-        view: &LocalView,
+        view: &LocalView<'_>,
         state: &mut Self::State,
-        inbox: &[(EdgeId, Self::Msg)],
+        inbox: &Inbox<'_, Self::Msg>,
+        outbox: &mut Outbox<'_, Self::Msg>,
         _round: u64,
-    ) -> Vec<(EdgeId, Self::Msg)> {
+    ) {
         if state.forwarded {
-            return Vec::new();
+            return;
         }
         if let Some((_, ValueMsg(v))) = inbox.first() {
             state.value = Some(*v);
             state.forwarded = true;
-            return self
-                .child_edges(view.node)
-                .into_iter()
-                .map(|e| (e, ValueMsg(*v)))
-                .collect();
+            self.send_to_children(view.node, *v, outbox);
         }
-        Vec::new()
     }
 
     fn is_terminated(&self, state: &Self::State) -> bool {
         state.value.is_some()
     }
 
-    fn output(&self, _view: &LocalView, state: Self::State) -> Self::Output {
+    fn output(&self, _view: &LocalView<'_>, state: Self::State) -> Self::Output {
         state
             .value
             .expect("broadcast reached every node of a spanning tree")
@@ -394,33 +379,33 @@ impl<'a> Protocol for TreeConvergecast<'a> {
     type State = ConvergecastState;
     type Output = f64;
 
-    fn init(&self, view: &LocalView) -> (Self::State, Vec<(EdgeId, Self::Msg)>) {
+    fn init(&self, view: &LocalView<'_>, outbox: &mut Outbox<'_, Self::Msg>) -> Self::State {
         let children = self.tree.children(view.node).len();
         let mut state = ConvergecastState {
             pending_children: children,
             acc: self.values[view.node.index()],
             sent: false,
         };
-        let mut msgs = Vec::new();
         if children == 0 && view.node != self.tree.root() {
             let e = self
                 .tree
                 .parent_edge(view.node)
                 .expect("non-root node of a spanning tree has a parent edge");
-            msgs.push((e, ValueMsg(state.acc)));
+            outbox.send(e, ValueMsg(state.acc));
             state.sent = true;
         }
-        (state, msgs)
+        state
     }
 
     fn round(
         &self,
-        view: &LocalView,
+        view: &LocalView<'_>,
         state: &mut Self::State,
-        inbox: &[(EdgeId, Self::Msg)],
+        inbox: &Inbox<'_, Self::Msg>,
+        outbox: &mut Outbox<'_, Self::Msg>,
         _round: u64,
-    ) -> Vec<(EdgeId, Self::Msg)> {
-        for (_, ValueMsg(v)) in inbox {
+    ) {
+        for (_, ValueMsg(v)) in inbox.iter() {
             state.acc += v;
             state.pending_children -= 1;
         }
@@ -430,16 +415,15 @@ impl<'a> Protocol for TreeConvergecast<'a> {
                 .tree
                 .parent_edge(view.node)
                 .expect("non-root node of a spanning tree has a parent edge");
-            return vec![(e, ValueMsg(state.acc))];
+            outbox.send(e, ValueMsg(state.acc));
         }
-        Vec::new()
     }
 
     fn is_terminated(&self, state: &Self::State) -> bool {
         state.pending_children == 0
     }
 
-    fn output(&self, _view: &LocalView, state: Self::State) -> Self::Output {
+    fn output(&self, _view: &LocalView<'_>, state: Self::State) -> Self::Output {
         state.acc
     }
 }
@@ -526,30 +510,30 @@ impl<'a> Protocol for PipelinedConvergecast<'a> {
     type State = PipelinedState;
     type Output = Vec<f64>;
 
-    fn init(&self, view: &LocalView) -> (Self::State, Vec<(EdgeId, Self::Msg)>) {
+    fn init(&self, view: &LocalView<'_>, _outbox: &mut Outbox<'_, Self::Msg>) -> Self::State {
         let children = self.tree.children(view.node).len();
-        let state = PipelinedState {
+        PipelinedState {
             acc: self.values[view.node.index()].clone(),
             pending: vec![children; self.k],
             next_to_send: 0,
-        };
-        (state, Vec::new())
+        }
     }
 
     fn round(
         &self,
-        view: &LocalView,
+        view: &LocalView<'_>,
         state: &mut Self::State,
-        inbox: &[(EdgeId, Self::Msg)],
+        inbox: &Inbox<'_, Self::Msg>,
+        outbox: &mut Outbox<'_, Self::Msg>,
         _round: u64,
-    ) -> Vec<(EdgeId, Self::Msg)> {
-        for (_, msg) in inbox {
+    ) {
+        for (_, msg) in inbox.iter() {
             let i = msg.index as usize;
             state.acc[i] += msg.value;
             state.pending[i] -= 1;
         }
         if view.node == self.tree.root() || state.next_to_send >= self.k {
-            return Vec::new();
+            return;
         }
         let i = state.next_to_send;
         if state.pending[i] == 0 {
@@ -558,22 +542,21 @@ impl<'a> Protocol for PipelinedConvergecast<'a> {
                 .tree
                 .parent_edge(view.node)
                 .expect("non-root node of a spanning tree has a parent edge");
-            return vec![(
+            outbox.send(
                 e,
                 IndexedValueMsg {
                     index: i as u32,
                     value: state.acc[i],
                 },
-            )];
+            );
         }
-        Vec::new()
     }
 
     fn is_terminated(&self, state: &Self::State) -> bool {
         state.pending.iter().all(|&p| p == 0)
     }
 
-    fn output(&self, _view: &LocalView, state: Self::State) -> Self::Output {
+    fn output(&self, _view: &LocalView<'_>, state: Self::State) -> Self::Output {
         state.acc
     }
 }

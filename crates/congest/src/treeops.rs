@@ -25,7 +25,7 @@ use flowgraph::{NodeId, RootedTree};
 use rand::Rng;
 
 use crate::cost::RoundCost;
-use crate::engine::{LocalView, MessageSize, Network, Protocol, Simulator};
+use crate::engine::{Inbox, LocalView, MessageSize, Network, Outbox, Protocol, Simulator};
 use crate::primitives::pipelined_broadcast_cost;
 
 /// A decomposition of a rooted tree into low-depth components obtained by
@@ -336,19 +336,21 @@ struct AggState {
 }
 
 impl<'a> ForestAggregate<'a> {
-    fn same_component_children(&self, v: NodeId) -> Vec<NodeId> {
-        self.tree
-            .children(v)
-            .iter()
-            .copied()
-            .filter(|c| {
-                self.decomposition.component[c.index()] == self.decomposition.component[v.index()]
-            })
-            .collect()
+    fn same_component_children(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.tree.children(v).iter().copied().filter(move |c| {
+            self.decomposition.component[c.index()] == self.decomposition.component[v.index()]
+        })
     }
 
     fn is_component_root(&self, v: NodeId) -> bool {
         self.decomposition.component_roots[self.decomposition.component[v.index()]] == v
+    }
+
+    fn send_to_children(&self, v: NodeId, value: f64, outbox: &mut Outbox<'_, AggMsg>) {
+        for c in self.same_component_children(v) {
+            let e = self.tree.parent_edge(c).expect("child has a parent edge");
+            outbox.send(e, AggMsg(value));
+        }
     }
 }
 
@@ -357,62 +359,55 @@ impl<'a> Protocol for ForestAggregate<'a> {
     type State = AggState;
     type Output = f64;
 
-    fn init(&self, view: &LocalView) -> (Self::State, Vec<(flowgraph::EdgeId, Self::Msg)>) {
+    fn init(&self, view: &LocalView<'_>, outbox: &mut Outbox<'_, Self::Msg>) -> Self::State {
         let v = view.node;
-        let children = self.same_component_children(v);
+        let children = self.same_component_children(v).count();
         match self.direction {
             Direction::Up => {
                 let mut state = AggState {
                     acc: self.values[v.index()],
-                    pending: children.len(),
+                    pending: children,
                     sent: false,
                     received_prefix: true,
                 };
-                let mut msgs = Vec::new();
-                if children.is_empty() && !self.is_component_root(v) {
+                if children == 0 && !self.is_component_root(v) {
                     let e = self
                         .tree
                         .parent_edge(v)
                         .expect("non-root has a parent edge");
-                    msgs.push((e, AggMsg(state.acc)));
+                    outbox.send(e, AggMsg(state.acc));
                     state.sent = true;
                 }
-                (state, msgs)
+                state
             }
             Direction::Down => {
                 let is_root = self.is_component_root(v);
                 let acc = self.values[v.index()];
-                let mut msgs = Vec::new();
                 if is_root {
-                    for c in &children {
-                        let e = self.tree.parent_edge(*c).expect("child has a parent edge");
-                        msgs.push((e, AggMsg(acc)));
-                    }
+                    self.send_to_children(v, acc, outbox);
                 }
-                (
-                    AggState {
-                        acc,
-                        pending: 0,
-                        sent: is_root,
-                        received_prefix: is_root,
-                    },
-                    msgs,
-                )
+                AggState {
+                    acc,
+                    pending: 0,
+                    sent: is_root,
+                    received_prefix: is_root,
+                }
             }
         }
     }
 
     fn round(
         &self,
-        view: &LocalView,
+        view: &LocalView<'_>,
         state: &mut Self::State,
-        inbox: &[(flowgraph::EdgeId, Self::Msg)],
+        inbox: &Inbox<'_, Self::Msg>,
+        outbox: &mut Outbox<'_, Self::Msg>,
         _round: u64,
-    ) -> Vec<(flowgraph::EdgeId, Self::Msg)> {
+    ) {
         let v = view.node;
         match self.direction {
             Direction::Up => {
-                for (_, AggMsg(x)) in inbox {
+                for (_, AggMsg(x)) in inbox.iter() {
                     state.acc += x;
                     state.pending -= 1;
                 }
@@ -422,28 +417,19 @@ impl<'a> Protocol for ForestAggregate<'a> {
                         .tree
                         .parent_edge(v)
                         .expect("non-root has a parent edge");
-                    return vec![(e, AggMsg(state.acc))];
+                    outbox.send(e, AggMsg(state.acc));
                 }
-                Vec::new()
             }
             Direction::Down => {
                 if state.received_prefix {
-                    return Vec::new();
+                    return;
                 }
                 if let Some((_, AggMsg(prefix))) = inbox.first() {
                     state.acc += prefix;
                     state.received_prefix = true;
                     state.sent = true;
-                    return self
-                        .same_component_children(v)
-                        .iter()
-                        .map(|c| {
-                            let e = self.tree.parent_edge(*c).expect("child has a parent edge");
-                            (e, AggMsg(state.acc))
-                        })
-                        .collect();
+                    self.send_to_children(v, state.acc, outbox);
                 }
-                Vec::new()
             }
         }
     }
@@ -455,7 +441,7 @@ impl<'a> Protocol for ForestAggregate<'a> {
         }
     }
 
-    fn output(&self, _view: &LocalView, state: Self::State) -> Self::Output {
+    fn output(&self, _view: &LocalView<'_>, state: Self::State) -> Self::Output {
         state.acc
     }
 }

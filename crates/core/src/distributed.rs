@@ -6,7 +6,8 @@
 //!
 //! * the BFS tree used for global aggregation is built by the genuine
 //!   message-passing protocol of `congest::primitives` (its depth is the
-//!   measured stand-in for the diameter `D`);
+//!   measured stand-in for the diameter `D`), executed on the
+//!   zero-allocation arena engine of `congest::engine`;
 //! * every virtual tree of the congestion approximator is decomposed into
 //!   `Õ(√n)` low-depth components (Lemma 8.2) and the subtree-sum / downcast
 //!   aggregations that the gradient descent performs on it (§9.1) are

@@ -1,0 +1,293 @@
+//! Compressed-sparse-row (CSR) adjacency for [`Graph`](crate::Graph) and
+//! ad-hoc edge sets.
+//!
+//! The incidence structure of a multigraph with `n` nodes and `m` edges is
+//! stored as two flat arrays instead of `n` separately allocated vectors:
+//!
+//! ```text
+//! offsets: [o_0, o_1, ..., o_n]            (n + 1 entries, o_0 = 0, o_n = 2m)
+//! targets: [(e, w), (e, w), ...]           (2m entries, one per edge endpoint)
+//!           `---- node 0 ----'`- node 1 -' ...
+//! ```
+//!
+//! The incident slots of node `v` are `targets[offsets[v] .. offsets[v+1]]`;
+//! each slot holds the edge id and the *other* endpoint, so a neighborhood
+//! scan touches one contiguous cache-friendly range and never chases an edge
+//! id back into the edge array. A *slot* (a global index into `targets`) also
+//! doubles as the identity of a directed edge endpoint, which is what the
+//! CONGEST simulator's flat message arenas are indexed by.
+//!
+//! # Ordering guarantee
+//!
+//! [`Csr::from_edges`] lists the incident slots of every node in **edge
+//! insertion order** (ascending [`EdgeId`]), exactly like the legacy
+//! `Vec<Vec<EdgeId>>` incidence path that appended an edge id to both
+//! endpoint lists at `add_edge` time. Algorithms may rely on this: iteration
+//! order over a node's neighborhood is stable across representations, and the
+//! per-node slices are sorted by edge id, which makes the slot lookup
+//! [`Csr::slot_of`] a binary search instead of a linear scan.
+//! [`Csr::from_links`] preserves the order of the supplied link list per node
+//! instead (callers that need binary-search lookups must supply links in
+//! ascending edge-id order).
+
+use crate::graph::{Edge, EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Flat compressed-sparse-row incidence index over a node set `0..n`.
+///
+/// See the [module docs](self) for the memory layout and the per-node
+/// ordering guarantee.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` is the slot range of node `v`.
+    offsets: Vec<u32>,
+    /// One `(edge, other endpoint)` entry per edge endpoint.
+    targets: Vec<(EdgeId, NodeId)>,
+}
+
+impl Default for Csr {
+    fn default() -> Self {
+        Csr {
+            offsets: vec![0],
+            targets: Vec::new(),
+        }
+    }
+}
+
+impl Csr {
+    /// Builds the CSR index of a multigraph's edge list. Every edge
+    /// contributes one slot at each endpoint; per-node slots appear in
+    /// ascending edge-id order (the insertion order of `add_edge`).
+    pub fn from_edges(num_nodes: usize, edges: &[Edge]) -> Self {
+        let csr = Self::from_links(
+            num_nodes,
+            edges
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (EdgeId(i as u32), e.tail, e.head)),
+        );
+        debug_assert!(
+            (0..num_nodes).all(|v| csr
+                .incident(NodeId(v as u32))
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0)),
+            "per-node slots of a graph CSR are sorted by edge id"
+        );
+        csr
+    }
+
+    /// Builds a CSR index from an arbitrary `(edge, u, v)` link list (e.g. a
+    /// spanning forest or an edge subset). Both endpoints receive a slot.
+    /// Per-node slot order follows the iteration order of `links`; the
+    /// binary-search lookups ([`Csr::slot_of`]) additionally require the
+    /// links to arrive in ascending edge-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link endpoint is out of `0..num_nodes`.
+    pub fn from_links<I>(num_nodes: usize, links: I) -> Self
+    where
+        I: Iterator<Item = (EdgeId, NodeId, NodeId)> + Clone,
+    {
+        let mut offsets = vec![0u32; num_nodes + 1];
+        let mut num_links = 0usize;
+        for (_, u, v) in links.clone() {
+            offsets[u.index() + 1] += 1;
+            offsets[v.index() + 1] += 1;
+            num_links += 1;
+        }
+        for i in 0..num_nodes {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor: Vec<u32> = offsets[..num_nodes].to_vec();
+        let mut targets = vec![(EdgeId(0), NodeId(0)); 2 * num_links];
+        for (e, u, v) in links {
+            targets[cursor[u.index()] as usize] = (e, v);
+            cursor[u.index()] += 1;
+            targets[cursor[v.index()] as usize] = (e, u);
+            cursor[v.index()] += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of nodes covered by the index.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of slots (`2m` for a graph CSR: one per edge endpoint).
+    #[inline]
+    pub fn num_slots(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The raw offset array (`n + 1` entries); `offsets[v]..offsets[v+1]` is
+    /// the slot range of node `v`. Exposed for consumers that maintain their
+    /// own per-slot side arrays (capacities, message arenas, residual arcs).
+    #[inline]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The global slot range of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn slot_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
+    }
+
+    /// The incident slots of node `v` as a contiguous `(edge, neighbor)`
+    /// slice, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn incident(&self, v: NodeId) -> &[(EdgeId, NodeId)] {
+        &self.targets[self.slot_range(v)]
+    }
+
+    /// Degree of node `v` (number of incident slots; parallel edges count
+    /// individually).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// The `(edge, neighbor)` pair stored at a global slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[inline]
+    pub fn slot(&self, slot: usize) -> (EdgeId, NodeId) {
+        self.targets[slot]
+    }
+
+    /// The global slot of edge `e` at endpoint `v`, or `None` if `e` is not
+    /// incident to `v`. A binary search over `v`'s slice — requires the
+    /// per-node sorted order that [`Csr::from_edges`] guarantees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn slot_of(&self, v: NodeId, e: EdgeId) -> Option<usize> {
+        let range = self.slot_range(v);
+        self.targets[range.clone()]
+            .binary_search_by_key(&e, |&(e2, _)| e2)
+            .ok()
+            .map(|i| range.start + i)
+    }
+
+    /// The node owning a global slot (inverse of [`Csr::slot_range`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn node_of_slot(&self, slot: usize) -> NodeId {
+        debug_assert!(slot < self.num_slots());
+        let i = self.offsets.partition_point(|&o| o as usize <= slot);
+        NodeId((i - 1) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn csr_matches_legacy_incidence_order() {
+        // Insertion order per node must match the legacy Vec<Vec<EdgeId>>
+        // path: edge ids ascending, parallel edges kept.
+        let g = GraphBuilder::new(4)
+            .edge(0, 1, 1.0)
+            .edge(1, 2, 1.0)
+            .edge(0, 1, 2.0) // parallel
+            .edge(3, 0, 1.0)
+            .build()
+            .unwrap();
+        let csr = g.csr();
+        let ids =
+            |v: u32| -> Vec<u32> { csr.incident(NodeId(v)).iter().map(|&(e, _)| e.0).collect() };
+        assert_eq!(ids(0), vec![0, 2, 3]);
+        assert_eq!(ids(1), vec![0, 1, 2]);
+        assert_eq!(ids(2), vec![1]);
+        assert_eq!(ids(3), vec![3]);
+        // Neighbors are the other endpoints.
+        assert_eq!(csr.incident(NodeId(2)), &[(EdgeId(1), NodeId(1))]);
+        assert_eq!(csr.degree(NodeId(0)), 3);
+        assert_eq!(csr.num_slots(), 8);
+    }
+
+    #[test]
+    fn slot_lookup_round_trips() {
+        let g = GraphBuilder::new(3)
+            .edge(0, 1, 1.0)
+            .edge(1, 2, 1.0)
+            .edge(2, 0, 1.0)
+            .build()
+            .unwrap();
+        let csr = g.csr();
+        for v in g.nodes() {
+            for (i, &(e, w)) in csr.incident(v).iter().enumerate() {
+                let slot = csr.slot_range(v).start + i;
+                assert_eq!(csr.slot_of(v, e), Some(slot));
+                assert_eq!(csr.node_of_slot(slot), v);
+                assert_eq!(csr.slot(slot), (e, w));
+                // The mirrored slot lives at the other endpoint.
+                let mirror = csr.slot_of(w, e).expect("edge incident to both ends");
+                assert_eq!(csr.node_of_slot(mirror), w);
+                assert_eq!(csr.slot(mirror).1, v);
+            }
+        }
+        assert_eq!(csr.slot_of(NodeId(0), EdgeId(1)), None);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_slices() {
+        let g = GraphBuilder::new(5).edge(3, 4, 1.0).build().unwrap();
+        let csr = g.csr();
+        for v in 0..3 {
+            assert!(csr.incident(NodeId(v)).is_empty());
+            assert_eq!(csr.degree(NodeId(v)), 0);
+        }
+        // Slot ownership skips the empty prefix correctly.
+        assert_eq!(csr.node_of_slot(0), NodeId(3));
+        assert_eq!(csr.node_of_slot(1), NodeId(4));
+    }
+
+    #[test]
+    fn from_links_preserves_given_order() {
+        // A forest supplied out of edge-id order keeps the supplied order.
+        let links = [
+            (EdgeId(7), NodeId(0), NodeId(1)),
+            (EdgeId(2), NodeId(1), NodeId(2)),
+        ];
+        let csr = Csr::from_links(3, links.iter().copied());
+        assert_eq!(
+            csr.incident(NodeId(1)),
+            &[(EdgeId(7), NodeId(0)), (EdgeId(2), NodeId(2))]
+        );
+        assert_eq!(csr.num_slots(), 4);
+    }
+
+    #[test]
+    fn empty_and_default() {
+        let csr = Csr::default();
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.num_slots(), 0);
+        let csr = Csr::from_edges(3, &[]);
+        assert_eq!(csr.num_nodes(), 3);
+        assert_eq!(csr.num_slots(), 0);
+    }
+}

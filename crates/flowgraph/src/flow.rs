@@ -113,7 +113,7 @@ impl FlowVec {
     /// (paper §1.1 condition 3).
     pub fn st_value(&self, g: &Graph, s: NodeId) -> f64 {
         let mut out = 0.0;
-        for &eid in g.incident_edges(s) {
+        for &(eid, _) in g.incident(s) {
             let e = g.edge(eid);
             let f = self.values[eid.index()];
             if e.tail == s {

@@ -4,11 +4,17 @@
 //! `G = (V, E, cap)` with an arbitrary but fixed orientation per edge; several
 //! of the constructions (Madry cores, contracted cluster graphs, AKPW
 //! iterations) additionally require *multigraphs*. [`Graph`] therefore stores
-//! a list of oriented edges (parallel edges allowed) plus a per-node incidence
-//! index, which covers both use cases.
+//! a list of oriented edges (parallel edges allowed) plus a lazily built
+//! compressed-sparse-row incidence index ([`crate::csr::Csr`]), which covers
+//! both use cases. The CSR index is built once on first neighborhood query
+//! and invalidated by topology mutations (`add_node` / `add_edge`); capacity
+//! updates do not invalidate it.
+
+use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
+use crate::csr::Csr;
 use crate::{GraphError, Result};
 
 /// Identifier of a node, an index into `0..graph.num_nodes()`.
@@ -116,12 +122,24 @@ impl Edge {
 /// An undirected, capacitated multigraph.
 ///
 /// Nodes are `0..n`, edges are `0..m` in insertion order; parallel edges and
-/// the empty graph are allowed, self-loops are not.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+/// the empty graph are allowed, self-loops are not. Incidence queries are
+/// answered from a flat CSR index ([`Graph::csr`]) that lists every node's
+/// incident `(edge, neighbor)` slots contiguously and in insertion order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Graph {
     edges: Vec<Edge>,
-    /// `incidence[v]` lists the edge ids incident to node `v`.
-    incidence: Vec<Vec<EdgeId>>,
+    num_nodes: usize,
+    /// Lazily built CSR incidence index; cleared on topology mutation.
+    /// Derived state — excluded from serialization (rebuilt on demand).
+    #[serde(skip)]
+    csr: OnceLock<Csr>,
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // The CSR cache is derived state and must not affect equality.
+        self.num_nodes == other.num_nodes && self.edges == other.edges
+    }
 }
 
 impl Graph {
@@ -129,14 +147,15 @@ impl Graph {
     pub fn with_nodes(n: usize) -> Self {
         Graph {
             edges: Vec::new(),
-            incidence: vec![Vec::new(); n],
+            num_nodes: n,
+            csr: OnceLock::new(),
         }
     }
 
     /// Number of nodes `n`.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.incidence.len()
+        self.num_nodes
     }
 
     /// Number of edges `m` (parallel edges counted individually).
@@ -148,13 +167,22 @@ impl Graph {
     /// Returns `true` if the graph has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.incidence.is_empty()
+        self.num_nodes == 0
+    }
+
+    /// The CSR incidence index of the current topology, built on first use
+    /// after a mutation. All neighborhood queries go through this index.
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        self.csr
+            .get_or_init(|| Csr::from_edges(self.num_nodes, &self.edges))
     }
 
     /// Adds a new isolated node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        self.incidence.push(Vec::new());
-        NodeId((self.incidence.len() - 1) as u32)
+        self.num_nodes += 1;
+        self.csr.take();
+        NodeId((self.num_nodes - 1) as u32)
     }
 
     /// Adds an undirected edge `{u, v}` with the fixed orientation `u -> v`.
@@ -178,8 +206,7 @@ impl Graph {
             head: v,
             capacity,
         });
-        self.incidence[u.index()].push(id);
-        self.incidence[v.index()].push(id);
+        self.csr.take();
         Ok(id)
     }
 
@@ -237,28 +264,28 @@ impl Graph {
             .map(|(i, e)| (EdgeId(i as u32), e))
     }
 
-    /// Edge ids incident to node `v` (parallel edges repeated).
+    /// The incident `(edge, neighbor)` slots of node `v` as a contiguous CSR
+    /// slice, in edge insertion order (parallel edges repeated).
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     #[inline]
-    pub fn incident_edges(&self, v: NodeId) -> &[EdgeId] {
-        &self.incidence[v.index()]
+    pub fn incident(&self, v: NodeId) -> &[(EdgeId, NodeId)] {
+        self.csr().incident(v)
     }
 
     /// Degree of node `v` (number of incident edge slots, so parallel edges
     /// count multiple times).
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.incidence[v.index()].len()
+        self.csr().degree(v)
     }
 
-    /// Iterates over `(EdgeId, neighbor)` pairs for node `v`.
+    /// Iterates over `(EdgeId, neighbor)` pairs for node `v`, in edge
+    /// insertion order.
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
-        self.incidence[v.index()]
-            .iter()
-            .map(move |&e| (e, self.edges[e.index()].other(v)))
+        self.incident(v).iter().copied()
     }
 
     /// Sum of all edge capacities.
@@ -281,9 +308,9 @@ impl Graph {
 
     /// Total capacity of edges incident to `v`.
     pub fn weighted_degree(&self, v: NodeId) -> f64 {
-        self.incidence[v.index()]
+        self.incident(v)
             .iter()
-            .map(|&e| self.edges[e.index()].capacity)
+            .map(|&(e, _)| self.edges[e.index()].capacity)
             .sum()
     }
 
@@ -298,7 +325,7 @@ impl Graph {
         dist[root.index()] = 0;
         queue.push_back(root);
         while let Some(u) = queue.pop_front() {
-            for (_, w) in self.neighbors(u) {
+            for &(_, w) in self.incident(u) {
                 if dist[w.index()] == usize::MAX {
                     dist[w.index()] = dist[u.index()] + 1;
                     queue.push_back(w);
@@ -384,7 +411,7 @@ impl Graph {
             comp[start] = next;
             queue.push_back(NodeId(start as u32));
             while let Some(u) = queue.pop_front() {
-                for (_, w) in self.neighbors(u) {
+                for &(_, w) in self.incident(u) {
                     if comp[w.index()] == usize::MAX {
                         comp[w.index()] = next;
                         queue.push_back(w);

@@ -7,7 +7,8 @@
 //! simulator) need from a graph library:
 //!
 //! * [`Graph`] — an undirected, capacitated multigraph with a fixed arbitrary
-//!   orientation per edge (the paper's §1.1 problem setup),
+//!   orientation per edge (the paper's §1.1 problem setup), backed by the
+//!   flat compressed-sparse-row incidence index of [`csr`],
 //! * [`FlowVec`] / [`Demand`] — flow and demand vectors together with
 //!   feasibility, conservation and congestion checks,
 //! * [`Cut`] — node-side cuts with capacity and crossing-edge queries,
@@ -35,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod contract;
+pub mod csr;
 pub mod cut;
 pub mod flow;
 pub mod gen;
@@ -43,6 +45,7 @@ pub mod spanning;
 pub mod tree;
 pub mod unionfind;
 
+pub use csr::Csr;
 pub use cut::Cut;
 pub use flow::{Demand, FlowVec};
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};

@@ -111,12 +111,15 @@ impl RootedTree {
     /// Returns [`GraphError::NotConnected`] if the edges do not span all nodes.
     pub fn spanning_from_edges(g: &Graph, root: NodeId, edges: &[EdgeId]) -> Result<Self> {
         let n = g.num_nodes();
-        let mut adj: Vec<Vec<(EdgeId, NodeId)>> = vec![Vec::new(); n];
-        for &eid in edges {
-            let e = g.edge(eid);
-            adj[e.tail.index()].push((eid, e.head));
-            adj[e.head.index()].push((eid, e.tail));
-        }
+        // Flat CSR over the edge subset, preserving the given edge order per
+        // node (same traversal order as the legacy per-node Vec adjacency).
+        let adj = crate::csr::Csr::from_links(
+            n,
+            edges.iter().map(|&eid| {
+                let e = g.edge(eid);
+                (eid, e.tail, e.head)
+            }),
+        );
         let mut parent = vec![None; n];
         let mut parent_edge = vec![None; n];
         let mut seen = vec![false; n];
@@ -124,7 +127,7 @@ impl RootedTree {
         seen[root.index()] = true;
         queue.push_back(root);
         while let Some(u) = queue.pop_front() {
-            for &(eid, w) in &adj[u.index()] {
+            for &(eid, w) in adj.incident(u) {
                 if !seen[w.index()] {
                     seen[w.index()] = true;
                     parent[w.index()] = Some(u);

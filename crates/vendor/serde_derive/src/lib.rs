@@ -9,15 +9,19 @@
 use proc_macro::TokenStream;
 
 /// Accepts the annotated item and emits no code (blanket impls in the `serde`
-/// shim already cover it).
-#[proc_macro_derive(Serialize)]
+/// shim already cover it). Declares the `serde` helper attribute so field
+/// annotations like `#[serde(skip)]` compile and carry over unchanged to the
+/// real derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// Accepts the annotated item and emits no code (blanket impls in the `serde`
-/// shim already cover it).
-#[proc_macro_derive(Deserialize)]
+/// shim already cover it). Declares the `serde` helper attribute so field
+/// annotations like `#[serde(skip)]` compile and carry over unchanged to the
+/// real derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
