@@ -1,0 +1,121 @@
+//! Build-once / query-many amortization benchmark (the PR-3 acceptance
+//! numbers in `BENCH_pr3.json`).
+//!
+//! Serving posture: one network, many `(s, t)` capacity queries. The solver
+//! is configured the way a query-serving deployment would run it — the
+//! Lemma 3.3 default tree count (construction-heavy, quality-bearing) and a
+//! small fixed gradient budget per query (every answer still carries its
+//! certified upper bound). Under that posture the benchmark compares
+//!
+//! * `session64` — `PreparedMaxFlow::prepare` once, then 64 mixed s–t
+//!   queries through the session (`max_flow_batch`), and
+//! * `oneshot64` — 64 calls of the call-per-query wrapper
+//!   `approx_max_flow`, which rebuilds the approximator every time,
+//!
+//! on 1k/10k-node fat-trees and grids, plus the prepare/query split behind
+//! the amortization (`prepare`, `per_query`).
+
+use capprox::RackeConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowgraph::{gen, Graph, NodeId};
+use maxflow::{approx_max_flow, MaxFlowConfig, PreparedMaxFlow};
+use rand::Rng;
+
+/// Queries per measurement, as in the PR acceptance criterion.
+const QUERIES: usize = 64;
+
+/// The serving configuration: Lemma 3.3 default number of sampled trees
+/// (`2⌈log₂ n⌉ + 1`), one `AlmostRoute` phase with a tight iteration budget.
+fn serving_config() -> MaxFlowConfig {
+    MaxFlowConfig::default()
+        .with_epsilon(0.3)
+        .with_racke(RackeConfig::default().with_seed(1))
+        .with_phases(Some(1))
+        .with_max_iterations_per_phase(6)
+}
+
+fn instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        // leaves * hosts + leaves + spines nodes.
+        ("fat_tree_1k", gen::fat_tree(16, 8, 61, 10.0, 40.0)),
+        ("fat_tree_10k", gen::fat_tree(64, 16, 155, 10.0, 40.0)),
+        ("grid_1k", gen::grid(32, 32, 1.0)),
+        ("grid_10k", gen::grid(100, 100, 1.0)),
+    ]
+}
+
+/// 64 deterministic mixed terminal pairs (distinct endpoints) per instance.
+fn query_mix(g: &Graph, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let n = g.num_nodes() as u32;
+    let mut rng = gen::rng(seed);
+    let mut pairs = Vec::with_capacity(QUERIES);
+    while pairs.len() < QUERIES {
+        let s = NodeId(rng.gen_range(0..n));
+        let t = NodeId(rng.gen_range(0..n));
+        if s != t {
+            pairs.push((s, t));
+        }
+    }
+    pairs
+}
+
+fn bench_query_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_throughput");
+    group.sample_size(2);
+    group.throughput(Throughput::Elements(QUERIES as u64));
+    let config = serving_config();
+    for (name, g) in instances() {
+        let pairs = query_mix(&g, 0xfee1);
+        group.bench_with_input(BenchmarkId::new("session64", name), &g, |b, g| {
+            b.iter(|| {
+                let mut session =
+                    PreparedMaxFlow::prepare(g, &config).expect("instance is connected");
+                let results = session.max_flow_batch(&pairs).expect("valid terminals");
+                results.iter().map(|r| r.value).sum::<f64>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oneshot64", name), &g, |b, g| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .map(|&(s, t)| {
+                        approx_max_flow(g, s, t, &config)
+                            .expect("instance is connected")
+                            .value
+                    })
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_prepare_query_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_split");
+    group.sample_size(3);
+    let config = serving_config();
+    for (name, g) in instances() {
+        let pairs = query_mix(&g, 0xfee1);
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("prepare", name), &g, |b, g| {
+            b.iter(|| {
+                PreparedMaxFlow::prepare(g, &config)
+                    .expect("instance is connected")
+                    .approximator()
+                    .num_rows()
+            })
+        });
+        let mut session = PreparedMaxFlow::prepare(&g, &config).expect("instance is connected");
+        group.throughput(Throughput::Elements(QUERIES as u64));
+        group.bench_with_input(BenchmarkId::new("queries64_warm", name), &g, |b, _| {
+            b.iter(|| {
+                let results = session.max_flow_batch(&pairs).expect("valid terminals");
+                results.iter().map(|r| r.value).sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_throughput, bench_prepare_query_split);
+criterion_main!(benches);

@@ -26,6 +26,41 @@ pub struct CongestionApproximator {
     num_nodes: usize,
 }
 
+/// Reusable node-sized buffers for the allocation-free operator evaluations
+/// [`CongestionApproximator::apply_into`] and
+/// [`CongestionApproximator::apply_transpose_into`].
+///
+/// Construct once (or use `Default` and let the first evaluation size it) and
+/// pass `&mut` per call: after the first call on a given approximator no
+/// further heap allocation happens, which is what keeps the session API's
+/// gradient iterations allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct OperatorScratch {
+    node_a: Vec<f64>,
+    node_b: Vec<f64>,
+}
+
+impl OperatorScratch {
+    /// Scratch pre-sized for an `n`-node approximator.
+    pub fn for_nodes(n: usize) -> Self {
+        OperatorScratch {
+            node_a: vec![0.0; n],
+            node_b: vec![0.0; n],
+        }
+    }
+
+    /// Grows (or shrinks) the buffers to cover `n` nodes; a no-op when the
+    /// size already matches, so warm buffers stay warm.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if self.node_a.len() != n {
+            self.node_a.resize(n, 0.0);
+        }
+        if self.node_b.len() != n {
+            self.node_b.resize(n, 0.0);
+        }
+    }
+}
+
 /// Summary statistics describing an approximator instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ApproximatorStats {
@@ -99,23 +134,52 @@ impl CongestionApproximator {
     /// Evaluates `R·b`: for every tree and node, the congestion forced on the
     /// corresponding tree cut. Row layout: `tree_index * n + node_index`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DemandMismatch`] if `b.len()` does not match the
+    /// approximator's node count.
+    pub fn apply(&self, b: &Demand) -> Result<Vec<f64>, GraphError> {
+        let mut rows = vec![0.0; self.num_rows()];
+        let mut scratch = OperatorScratch::default();
+        self.apply_into(b, &mut rows, &mut scratch)?;
+        Ok(rows)
+    }
+
+    /// Evaluates `R·b` into the caller-owned buffer `rows` using borrowed
+    /// scratch, so repeated evaluations (one per gradient iteration) allocate
+    /// nothing in the steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DemandMismatch`] if `b.len()` does not match the
+    /// approximator's node count.
+    ///
     /// # Panics
     ///
-    /// Panics if `b.len()` does not match the approximator's node count.
-    pub fn apply(&self, b: &Demand) -> Vec<f64> {
-        assert_eq!(b.len(), self.num_nodes, "demand length mismatch");
-        let mut rows = Vec::with_capacity(self.num_rows());
-        for t in &self.trees {
-            let sums = t.tree.subtree_sums(b.values());
-            for (&sum, &cap) in sums.iter().zip(&t.cut_capacity).take(self.num_nodes) {
-                if cap > 0.0 {
-                    rows.push(sum / cap);
-                } else {
-                    rows.push(0.0);
-                }
+    /// Panics if `rows.len()` does not equal [`Self::num_rows`] (a misuse of
+    /// the scratch-buffer protocol, not of the data).
+    pub fn apply_into(
+        &self,
+        b: &Demand,
+        rows: &mut [f64],
+        scratch: &mut OperatorScratch,
+    ) -> Result<(), GraphError> {
+        if b.len() != self.num_nodes {
+            return Err(GraphError::DemandMismatch {
+                expected: self.num_nodes,
+                actual: b.len(),
+            });
+        }
+        assert_eq!(rows.len(), self.num_rows(), "row buffer length mismatch");
+        scratch.ensure_nodes(self.num_nodes);
+        for (t_index, t) in self.trees.iter().enumerate() {
+            t.tree.subtree_sums_into(b.values(), &mut scratch.node_a);
+            let out = &mut rows[t_index * self.num_nodes..(t_index + 1) * self.num_nodes];
+            for ((r, &sum), &cap) in out.iter_mut().zip(&scratch.node_a).zip(&t.cut_capacity) {
+                *r = if cap > 0.0 { sum / cap } else { 0.0 };
             }
         }
-        rows
+        Ok(())
     }
 
     /// `‖R·b‖_∞` — the approximator's estimate (lower bound) of the optimal
@@ -125,7 +189,11 @@ impl CongestionApproximator {
     ///
     /// Panics if `b.len()` does not match the approximator's node count.
     pub fn congestion_lower_bound(&self, b: &Demand) -> f64 {
-        self.apply(b).iter().map(|x| x.abs()).fold(0.0, f64::max)
+        self.apply(b)
+            .expect("demand length mismatch")
+            .iter()
+            .map(|x| x.abs())
+            .fold(0.0, f64::max)
     }
 
     /// An upper bound on the optimal congestion: the best congestion achieved
@@ -148,29 +216,68 @@ impl CongestionApproximator {
     /// `π_v = Σ_{rows i whose cut contains v} y_i / cap_i` — the quantity the
     /// gradient descent needs to compute `∂φ₂/∂f_e = π_v − π_u` (§9.1).
     ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DemandMismatch`] if `y.len()` does not equal
+    /// [`Self::num_rows`].
+    pub fn apply_transpose(&self, y: &[f64]) -> Result<Vec<f64>, GraphError> {
+        let mut potentials = vec![0.0; self.num_nodes];
+        let mut scratch = OperatorScratch::default();
+        self.apply_transpose_into(y, &mut potentials, &mut scratch)?;
+        Ok(potentials)
+    }
+
+    /// Evaluates `Rᵀ·y` into the caller-owned buffer `potentials` using
+    /// borrowed scratch, the allocation-free counterpart of
+    /// [`Self::apply_transpose`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DemandMismatch`] if `y.len()` does not equal
+    /// [`Self::num_rows`].
+    ///
     /// # Panics
     ///
-    /// Panics if `y.len()` does not equal [`Self::num_rows`].
-    pub fn apply_transpose(&self, y: &[f64]) -> Vec<f64> {
-        assert_eq!(y.len(), self.num_rows(), "price vector length mismatch");
-        let mut potentials = vec![0.0; self.num_nodes];
+    /// Panics if `potentials.len()` does not equal the approximator's node
+    /// count (a misuse of the scratch-buffer protocol, not of the data).
+    pub fn apply_transpose_into(
+        &self,
+        y: &[f64],
+        potentials: &mut [f64],
+        scratch: &mut OperatorScratch,
+    ) -> Result<(), GraphError> {
+        if y.len() != self.num_rows() {
+            return Err(GraphError::DemandMismatch {
+                expected: self.num_rows(),
+                actual: y.len(),
+            });
+        }
+        assert_eq!(
+            potentials.len(),
+            self.num_nodes,
+            "potential buffer length mismatch"
+        );
+        potentials.fill(0.0);
+        scratch.ensure_nodes(self.num_nodes);
         for (t_index, t) in self.trees.iter().enumerate() {
             // Per-node price of the row indexed by this node's parent edge,
             // already scaled by the cut capacity.
-            let mut per_node = vec![0.0; self.num_nodes];
             for v in 0..self.num_nodes {
                 let cap = t.cut_capacity[v];
-                if cap > 0.0 {
-                    per_node[v] = y[t_index * self.num_nodes + v] / cap;
-                }
+                scratch.node_a[v] = if cap > 0.0 {
+                    y[t_index * self.num_nodes + v] / cap
+                } else {
+                    0.0
+                };
             }
             // π contribution of this tree: sum of prices along the root path.
-            let prefix = t.tree.prefix_sums_from_root(&per_node);
-            for v in 0..self.num_nodes {
-                potentials[v] += prefix[v];
+            t.tree
+                .prefix_sums_from_root_into(&scratch.node_a, &mut scratch.node_b);
+            for (p, &prefix) in potentials.iter_mut().zip(&scratch.node_b) {
+                *p += prefix;
             }
         }
-        potentials
+        Ok(())
     }
 
     /// Measured approximation factor for a specific demand:
@@ -274,8 +381,8 @@ mod tests {
         let y: Vec<f64> = (0..approx.num_rows())
             .map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0))
             .collect();
-        let rb = approx.apply(&b);
-        let rty = approx.apply_transpose(&y);
+        let rb = approx.apply(&b).unwrap();
+        let rty = approx.apply_transpose(&y).unwrap();
         let lhs: f64 = rb.iter().zip(&y).map(|(a, b)| a * b).sum();
         let rhs: f64 = rty.iter().zip(b.values()).map(|(a, b)| a * b).sum();
         assert!(
@@ -289,9 +396,50 @@ mod tests {
         let g = gen::grid(3, 3, 1.0);
         let approx = build(&g, 2, 5);
         let b = Demand::zeros(9);
-        assert!(approx.apply(&b).iter().all(|&x| x == 0.0));
+        assert!(approx.apply(&b).unwrap().iter().all(|&x| x == 0.0));
         assert_eq!(approx.congestion_lower_bound(&b), 0.0);
         assert_eq!(approx.measured_alpha(&g, &b), 1.0);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_reported_not_panicked() {
+        let g = gen::grid(3, 3, 1.0);
+        let approx = build(&g, 2, 5);
+        let short = Demand::zeros(4);
+        assert_eq!(
+            approx.apply(&short),
+            Err(GraphError::DemandMismatch {
+                expected: 9,
+                actual: 4
+            })
+        );
+        let bad_prices = vec![0.0; 3];
+        assert_eq!(
+            approx.apply_transpose(&bad_prices),
+            Err(GraphError::DemandMismatch {
+                expected: approx.num_rows(),
+                actual: 3
+            })
+        );
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants() {
+        let g = gen::random_gnp(12, 0.3, (1.0, 4.0), 9);
+        let approx = build(&g, 3, 2);
+        let b = Demand::st(&g, NodeId(0), NodeId(11), 1.5);
+        let mut scratch = OperatorScratch::for_nodes(approx.num_nodes());
+        let mut rows = vec![0.0; approx.num_rows()];
+        approx.apply_into(&b, &mut rows, &mut scratch).unwrap();
+        assert_eq!(rows, approx.apply(&b).unwrap());
+        let y: Vec<f64> = (0..approx.num_rows())
+            .map(|i| (i % 5) as f64 - 2.0)
+            .collect();
+        let mut pot = vec![0.0; approx.num_nodes()];
+        approx
+            .apply_transpose_into(&y, &mut pot, &mut scratch)
+            .unwrap();
+        assert_eq!(pot, approx.apply_transpose(&y).unwrap());
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub struct CapacitatedTree {
     /// `cut_capacity[v]` = capacity of the cut induced by `v`'s parent edge;
     /// entry for the root is 0.
     pub cut_capacity: Vec<f64>,
-    /// `rload[v]` = cut_capacity[v] / cap(parent edge of v); 0 for the root.
+    /// `rload[v] = cut_capacity[v] / cap(parent edge of v)`; 0 for the root.
     pub rload: Vec<f64>,
 }
 

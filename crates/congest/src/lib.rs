@@ -48,6 +48,8 @@ pub mod primitives;
 pub mod treeops;
 
 pub use cost::RoundCost;
+pub use treeops::{DecomposedTree, TreeDecomposition};
+
 pub use engine::{
     DeliveryEvent, Inbox, LocalView, MessageSize, Network, Outbox, Protocol, RunResult, Simulator,
     Transcript,

@@ -16,10 +16,10 @@
 //! pipelining them over a BFS tree in `O(D + √n)` rounds.
 //!
 //! The within-component phases below are executed as genuine message-passing
-//! protocols on the [`Simulator`](crate::engine::Simulator); the global
+//! protocols on the [`Simulator`]; the global
 //! summary exchange is charged `2·(depth(BFS) + #components)` rounds via
-//! [`pipelined_broadcast_cost`](crate::primitives::pipelined_broadcast_cost),
-//! i.e. with parameters measured on the actual instance.
+//! [`pipelined_broadcast_cost`], i.e. with parameters measured on the actual
+//! instance.
 
 use flowgraph::{NodeId, RootedTree};
 use rand::Rng;
@@ -104,6 +104,82 @@ impl TreeDecomposition {
         } else {
             1.0 / (n as f64).sqrt()
         }
+    }
+}
+
+/// A spanning tree bundled with a sampled decomposition: a cached,
+/// re-runnable handle for the two aggregation protocols the gradient descent
+/// needs on every virtual tree (§9.1).
+///
+/// Sampling the Lemma 8.2 decomposition is a preprocessing step — the paper
+/// performs it once per tree, not once per aggregation — so build-once /
+/// query-many callers (the `PreparedMaxFlow` session) construct this handle
+/// during `prepare` and re-run [`Self::subtree_sums`] /
+/// [`Self::prefix_sums`] per query without re-sampling.
+#[derive(Debug, Clone)]
+pub struct DecomposedTree {
+    tree: RootedTree,
+    decomposition: TreeDecomposition,
+}
+
+impl DecomposedTree {
+    /// Samples a decomposition for `tree` with the given cut probability
+    /// (pass [`TreeDecomposition::recommended_probability`] for the paper's
+    /// `1/√n` regime) and caches it alongside the tree.
+    pub fn sample(tree: RootedTree, cut_probability: f64, rng: &mut impl Rng) -> Self {
+        let decomposition = TreeDecomposition::sample(&tree, cut_probability, rng);
+        DecomposedTree {
+            tree,
+            decomposition,
+        }
+    }
+
+    /// Wraps an explicit decomposition (used by tests and ablations).
+    pub fn from_decomposition(tree: RootedTree, decomposition: TreeDecomposition) -> Self {
+        DecomposedTree {
+            tree,
+            decomposition,
+        }
+    }
+
+    /// The underlying spanning tree.
+    pub fn tree(&self) -> &RootedTree {
+        &self.tree
+    }
+
+    /// The cached Lemma 8.2 decomposition.
+    pub fn decomposition(&self) -> &TreeDecomposition {
+        &self.decomposition
+    }
+
+    /// Re-runs the distributed subtree-sum protocol (the "y-values"
+    /// convergecast of §9.1) with the cached decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`distributed_subtree_sums`].
+    pub fn subtree_sums(
+        &self,
+        network: &Network,
+        bfs_tree: &RootedTree,
+        values: &[f64],
+    ) -> TreeAggregationResult {
+        distributed_subtree_sums(network, &self.tree, &self.decomposition, bfs_tree, values)
+    }
+
+    /// Re-runs the distributed prefix-sum protocol (the potential downcast of
+    /// §9.1) with the cached decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`distributed_prefix_sums`].
+    pub fn prefix_sums(
+        &self,
+        network: &Network,
+        bfs_tree: &RootedTree,
+        values: &[f64],
+    ) -> TreeAggregationResult {
+        distributed_prefix_sums(network, &self.tree, &self.decomposition, bfs_tree, values)
     }
 }
 

@@ -15,7 +15,7 @@
 //! congestion, leaving a small residual that the caller repairs over a
 //! spanning tree (Algorithm 1).
 
-use capprox::CongestionApproximator;
+use capprox::{CongestionApproximator, OperatorScratch};
 use flowgraph::{Demand, FlowVec, Graph};
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +38,102 @@ impl Default for AlmostRouteConfig {
             alpha: None,
             max_iterations: 20_000,
         }
+    }
+}
+
+impl AlmostRouteConfig {
+    /// Replaces the target accuracy ε.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Overrides the approximator quality α assumed by the descent
+    /// (`None` restores the provable bound).
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: Option<f64>) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Replaces the hard cap on gradient iterations.
+    #[must_use]
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+}
+
+/// Reusable buffers for the gradient descent: everything the inner loop
+/// needs, sized once per (graph, approximator) pair, so that the steady-state
+/// iteration allocates nothing on the heap.
+///
+/// A [`crate::PreparedMaxFlow`] session owns one of these across queries; the
+/// free-function wrappers allocate a fresh one per call.
+#[derive(Debug, Clone, Default)]
+pub struct AlmostRouteScratch {
+    /// `C⁻¹ f`, one entry per edge.
+    scaled_flow: Vec<f64>,
+    /// Soft-max weights of the congestion term, one entry per edge.
+    w1: Vec<f64>,
+    /// Residual demand `b − Bf`, one entry per node.
+    residual: Demand,
+    /// `R (b − Bf)` scaled by 2α, one entry per approximator row; doubles as
+    /// the price vector after the weight computation.
+    rows: Vec<f64>,
+    /// Soft-max weights / prices of the demand term, one entry per row.
+    prices: Vec<f64>,
+    /// Node potentials `π = Rᵀ prices`.
+    potentials: Vec<f64>,
+    /// Gradient `∂φ/∂f`, one entry per edge.
+    grad: Vec<f64>,
+    /// Node-sized scratch borrowed by the operator evaluations.
+    op: OperatorScratch,
+}
+
+impl AlmostRouteScratch {
+    /// Scratch pre-sized for `g` and `r` (also happens lazily on first use).
+    pub fn for_instance(g: &Graph, r: &CongestionApproximator) -> Self {
+        let mut scratch = AlmostRouteScratch::default();
+        scratch.ensure(g, r);
+        scratch
+    }
+
+    fn ensure(&mut self, g: &Graph, r: &CongestionApproximator) {
+        let (n, m, rows) = (g.num_nodes(), g.num_edges(), r.num_rows());
+        fn fit(buf: &mut Vec<f64>, len: usize) {
+            if buf.len() != len {
+                buf.resize(len, 0.0);
+            }
+        }
+        fit(&mut self.scaled_flow, m);
+        fit(&mut self.w1, m);
+        fit(&mut self.grad, m);
+        fit(&mut self.rows, rows);
+        fit(&mut self.prices, rows);
+        fit(&mut self.potentials, n);
+        if self.residual.len() != n {
+            self.residual = Demand::zeros(n);
+        }
+        self.op.ensure_nodes(n);
+    }
+
+    /// `‖R·b‖_∞` evaluated through the scratch buffers — the allocation-free
+    /// counterpart of [`CongestionApproximator::congestion_lower_bound`],
+    /// used at the phase boundaries of a session query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the approximator's node count.
+    pub fn congestion_lower_bound(&mut self, r: &CongestionApproximator, b: &Demand) -> f64 {
+        if self.rows.len() != r.num_rows() {
+            self.rows.resize(r.num_rows(), 0.0);
+        }
+        self.op.ensure_nodes(r.num_nodes());
+        r.apply_into(b, &mut self.rows, &mut self.op)
+            .expect("demand length mismatch");
+        self.rows.iter().map(|x| x.abs()).fold(0.0, f64::max)
     }
 }
 
@@ -70,10 +166,21 @@ pub fn smax(values: &[f64]) -> f64 {
 /// `(e^{y_i} − e^{-y_i}) / Σ_j (e^{y_j} + e^{-y_j})`, computed stably given
 /// `smax_value = smax(values)`.
 pub fn smax_weights(values: &[f64], smax_value: f64) -> Vec<f64> {
-    values
-        .iter()
-        .map(|&y| (y - smax_value).exp() - (-y - smax_value).exp())
-        .collect()
+    let mut out = vec![0.0; values.len()];
+    smax_weights_into(values, smax_value, &mut out);
+    out
+}
+
+/// Allocation-free form of [`smax_weights`]: writes the weights into `out`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.len()`.
+pub fn smax_weights_into(values: &[f64], smax_value: f64, out: &mut [f64]) {
+    assert_eq!(out.len(), values.len(), "weight buffer length mismatch");
+    for (w, &y) in out.iter_mut().zip(values) {
+        *w = (y - smax_value).exp() - (-y - smax_value).exp();
+    }
 }
 
 /// Runs Algorithm 2 for the demand `b` on graph `g` with congestion
@@ -93,7 +200,27 @@ pub fn almost_route(
     b: &Demand,
     config: &AlmostRouteConfig,
 ) -> AlmostRouteResult {
+    let mut scratch = AlmostRouteScratch::default();
+    almost_route_with(g, r, b, config, &mut scratch)
+}
+
+/// [`almost_route`] with caller-owned scratch buffers: after the buffers are
+/// warm (first call per instance shape), the gradient loop performs zero heap
+/// allocations per iteration. This is the entry point the
+/// [`crate::PreparedMaxFlow`] session uses for every query.
+///
+/// # Panics
+///
+/// Panics if `b` does not match the graph's node count.
+pub fn almost_route_with(
+    g: &Graph,
+    r: &CongestionApproximator,
+    b: &Demand,
+    config: &AlmostRouteConfig,
+    scratch: &mut AlmostRouteScratch,
+) -> AlmostRouteResult {
     assert_eq!(b.len(), g.num_nodes(), "demand length mismatch");
+    scratch.ensure(g, r);
     let n = g.num_nodes().max(2) as f64;
     let m = g.num_edges();
     let eps = config.epsilon.clamp(1e-3, 1.0);
@@ -110,7 +237,7 @@ pub fn almost_route(
         .max(1.0);
 
     // Degenerate cases: zero demand or an edgeless graph.
-    let base_norm = r.congestion_lower_bound(b);
+    let base_norm = scratch.congestion_lower_bound(r, b);
     if base_norm <= 0.0 || m == 0 {
         return AlmostRouteResult {
             flow: FlowVec::zeros(m),
@@ -137,8 +264,8 @@ pub fn almost_route(
     let mut hit_cap = false;
 
     loop {
-        // Evaluate the potential and its gradient.
-        let (phi, grad) = potential_and_gradient(g, r, &b_work, &f, alpha);
+        // Evaluate the potential and its gradient into the scratch buffers.
+        let phi = potential_and_gradient_scratch(g, r, &b_work, &f, alpha, scratch);
         potential = phi;
 
         // Lines 4–5: while φ(f) < 16 ε⁻¹ log n, scale f and b up by 17/16.
@@ -153,7 +280,7 @@ pub fn almost_route(
         // Line 6: δ = Σ_e |cap(e) · ∂φ/∂f_e|.
         let delta: f64 = g
             .edge_ids()
-            .map(|e| (g.capacity(e) * grad[e.index()]).abs())
+            .map(|e| (g.capacity(e) * scratch.grad[e.index()]).abs())
             .sum();
 
         if delta < eps / 4.0 {
@@ -167,7 +294,7 @@ pub fn almost_route(
         // Line 8: f_e ← f_e − sgn(∂φ/∂f_e) · cap(e) · δ / (1 + 4α²).
         let step = delta / (1.0 + 4.0 * alpha * alpha);
         for e in g.edge_ids() {
-            let gd = grad[e.index()];
+            let gd = scratch.grad[e.index()];
             if gd != 0.0 {
                 f.add(e, -gd.signum() * g.capacity(e) * step);
             }
@@ -198,31 +325,57 @@ pub fn potential_and_gradient(
     f: &FlowVec,
     alpha: f64,
 ) -> (f64, Vec<f64>) {
+    let mut scratch = AlmostRouteScratch::for_instance(g, r);
+    let phi = potential_and_gradient_scratch(g, r, b, f, alpha, &mut scratch);
+    (phi, scratch.grad)
+}
+
+/// Evaluates `φ(f)` into the return value and `∂φ/∂f` into `scratch.grad`,
+/// touching no heap memory beyond the pre-sized scratch buffers.
+fn potential_and_gradient_scratch(
+    g: &Graph,
+    r: &CongestionApproximator,
+    b: &Demand,
+    f: &FlowVec,
+    alpha: f64,
+    scratch: &mut AlmostRouteScratch,
+) -> f64 {
     // φ1 = smax(C⁻¹ f).
-    let scaled_flow: Vec<f64> = g.edge_ids().map(|e| f.get(e) / g.capacity(e)).collect();
-    let phi1 = smax(&scaled_flow);
-    let w1 = smax_weights(&scaled_flow, phi1);
+    for (x, e) in scratch.scaled_flow.iter_mut().zip(g.edge_ids()) {
+        *x = f.get(e) / g.capacity(e);
+    }
+    let phi1 = smax(&scratch.scaled_flow);
+    smax_weights_into(&scratch.scaled_flow, phi1, &mut scratch.w1);
 
     // φ2 = smax(2α R (b − Bf)).
-    let residual = b.residual(g, f);
-    let rows = r.apply(&residual);
-    let y: Vec<f64> = rows.iter().map(|x| 2.0 * alpha * x).collect();
-    let phi2 = smax(&y);
-    let w2 = smax_weights(&y, phi2);
+    b.residual_into(g, f, &mut scratch.residual);
+    r.apply_into(&scratch.residual, &mut scratch.rows, &mut scratch.op)
+        .expect("scratch demand matches the approximator");
+    // Doubling is exact in IEEE-754, so `y * (2α)` rounds identically to the
+    // original `2α · y` evaluation order.
+    for y in scratch.rows.iter_mut() {
+        *y *= 2.0 * alpha;
+    }
+    let phi2 = smax(&scratch.rows);
+    smax_weights_into(&scratch.rows, phi2, &mut scratch.prices);
     // Prices per row: q_i · 2α (the 1/cap_i factor is applied inside Rᵀ).
-    let prices: Vec<f64> = w2.iter().map(|q| q * 2.0 * alpha).collect();
-    let potentials = r.apply_transpose(&prices);
+    // `q * 2.0` is exact in IEEE-754, so the compound form rounds identically
+    // to the original `q * 2.0 * alpha`.
+    for q in scratch.prices.iter_mut() {
+        *q *= 2.0 * alpha;
+    }
+    r.apply_transpose_into(&scratch.prices, &mut scratch.potentials, &mut scratch.op)
+        .expect("scratch prices match the approximator rows");
 
-    let mut grad = vec![0.0; g.num_edges()];
     for (id, e) in g.edges() {
-        let g1 = w1[id.index()] / g.capacity(id);
+        let g1 = scratch.w1[id.index()] / g.capacity(id);
         // Increasing f_e moves one unit of excess from tail to head, so the
         // residual (b − Bf) decreases at the head and increases at the tail;
         // differentiating the second soft-max yields π_tail − π_head.
-        let g2 = potentials[e.tail.index()] - potentials[e.head.index()];
-        grad[id.index()] = g1 + g2;
+        let g2 = scratch.potentials[e.tail.index()] - scratch.potentials[e.head.index()];
+        scratch.grad[id.index()] = g1 + g2;
     }
-    (phi1 + phi2, grad)
+    phi1 + phi2
 }
 
 #[cfg(test)]

@@ -19,20 +19,29 @@
 //!   measured BFS depth, `√n`, and the measured number of cluster-level
 //!   decomposition rounds.
 //!
+//! All measured protocol state — the network arena, the BFS tree, and one
+//! cached [`DecomposedTree`] handle per virtual tree (Lemma 8.2 says the
+//! decomposition is sampled once per tree, not once per aggregation) — lives
+//! in a cached plan owned by the [`PreparedMaxFlow`] session, so a
+//! build-once / query-many caller pays the construction bill once and only
+//! the per-iteration and repair-aggregation bills per query.
+//! [`PreparedMaxFlow::distributed_bill`] exposes exactly that amortized
+//! split.
+//!
 //! The paper's headline claim — `(D + √n)·n^{o(1)}·ε^{-3}` rounds, far below
 //! the `Θ(n²)` of distributed push–relabel and the `Θ(m)` of centralizing the
 //! input — is what experiments E1/E9 check against this accounting.
 
-use capprox::{build_tree_ensemble, CongestionApproximator};
 use congest::primitives::{build_bfs_tree, pipelined_broadcast_cost};
-use congest::treeops::{distributed_prefix_sums, distributed_subtree_sums, TreeDecomposition};
+use congest::treeops::{DecomposedTree, TreeDecomposition};
 use congest::{Network, RoundCost};
 use flowgraph::{Graph, GraphError, NodeId, RootedTree};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::solver::{approx_max_flow_with, MaxFlowConfig, MaxFlowResult};
+use crate::session::PreparedMaxFlow;
+use crate::solver::{MaxFlowConfig, MaxFlowResult};
 
 /// Round costs of the individual phases of the distributed execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,7 +69,9 @@ pub struct DistributedMaxFlowResult {
     /// The flow itself (identical to the centralized result for the same
     /// seed) together with value and certified upper bound.
     pub result: MaxFlowResult,
-    /// The CONGEST round bill.
+    /// The CONGEST round bill (standalone accounting: construction charged to
+    /// this call; see [`PreparedMaxFlow::distributed_bill`] for the amortized
+    /// session view).
     pub rounds: RoundBreakdown,
     /// Depth of the measured BFS tree (a 2-approximation of the diameter D).
     pub bfs_depth: usize,
@@ -83,8 +94,274 @@ impl DistributedMaxFlowResult {
     }
 }
 
+/// The amortized CONGEST bill of a prepared session: what a network pays
+/// *once* when the session is prepared, and what every subsequent query pays
+/// on top (per-iteration aggregations plus one repair aggregation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SessionBill {
+    /// Building the global BFS tree (measured protocol run; charged once).
+    pub bfs_construction: RoundCost,
+    /// Building the congestion approximator: sparsifier, low-stretch trees,
+    /// tree capacities and tree decompositions (charged once).
+    pub approximator_construction: RoundCost,
+    /// Computing the maximum-weight spanning tree used for residual repair
+    /// (Kutten–Peleg, `Õ(√n + D)`; charged once — the per-call accounting of
+    /// [`distributed_approx_max_flow`] charges it per query instead).
+    pub repair_tree_construction: RoundCost,
+    /// Everything charged once: the three construction items above.
+    pub prepare_total: RoundCost,
+    /// One gradient-descent iteration: R·b and Rᵀ·y on every virtual tree
+    /// plus the global scalar aggregations (measured protocol runs).
+    pub per_iteration: RoundCost,
+    /// Routing the residual over the repair tree, once per query
+    /// (Lemma 9.1, measured on the actual tree).
+    pub per_query_repair: RoundCost,
+    /// Depth of the measured BFS tree (a 2-approximation of the diameter D).
+    pub bfs_depth: usize,
+    /// Number of network nodes.
+    pub num_nodes: usize,
+}
+
+impl SessionBill {
+    /// Rounds charged to one query that performed `iterations` gradient
+    /// iterations (construction excluded — it is in [`Self::prepare_total`]).
+    pub fn query_rounds(&self, iterations: usize) -> RoundCost {
+        self.per_iteration
+            .repeat(iterations.max(1) as u64)
+            .then(self.per_query_repair)
+    }
+
+    /// Total bill of preparing once and answering one query per entry of
+    /// `iterations_per_query` — the number the `query_throughput` benchmark
+    /// compares against `queries × standalone_total`.
+    pub fn amortized_total(&self, iterations_per_query: &[usize]) -> RoundCost {
+        iterations_per_query
+            .iter()
+            .fold(self.prepare_total, |acc, &it| {
+                acc.then(self.query_rounds(it))
+            })
+    }
+
+    /// The paper's comparison yardstick `D + √n` for this instance.
+    pub fn d_plus_sqrt_n(&self) -> f64 {
+        self.bfs_depth as f64 + (self.num_nodes as f64).sqrt()
+    }
+}
+
+/// The cached distributed-execution state of a session: the simulated
+/// network, the measured BFS tree, and re-runnable [`DecomposedTree`] handles
+/// for every virtual tree and for the repair tree.
+#[derive(Debug)]
+pub(crate) struct DistributedPlan {
+    network: Network,
+    bfs_tree: RootedTree,
+    bfs_cost: RoundCost,
+    bfs_depth: usize,
+    construction: RoundCost,
+    per_iteration: RoundCost,
+    /// Kutten–Peleg MST construction rounds, `(D + √n)·log n`.
+    repair_tree_construction: RoundCost,
+    /// Cached decomposition handles of the virtual trees (Lemma 8.2),
+    /// in ensemble order.
+    virtual_trees: Vec<DecomposedTree>,
+    /// Cached decomposition handle of the repair tree (Lemma 9.1).
+    repair: DecomposedTree,
+    /// Measured cost of one repair aggregation over [`Self::repair`]
+    /// (deterministic for a fixed plan, so measured once).
+    per_query_repair: RoundCost,
+}
+
+impl DistributedPlan {
+    /// Runs the measured construction protocols once for a prepared session.
+    fn build(session: &PreparedMaxFlow<'_>) -> DistributedPlan {
+        let g = session.graph();
+        let config = session.config();
+        let n = g.num_nodes();
+        let sqrt_n = (n as f64).sqrt().ceil() as u64;
+        let network = Network::new(g.clone());
+
+        // Phase 1: global BFS tree (real protocol), rooted at the canonical
+        // aggregation root. Its depth is within a factor 2 of the diameter
+        // from any root, which is all the accounting uses it for.
+        let bfs = build_bfs_tree(&network, NodeId(0));
+        let bfs_depth = bfs.tree.max_depth();
+
+        // Phase 2: congestion approximator construction. Sparsifier
+        // (Lemma 6.1) plus the low-stretch spanning trees: each cluster-level
+        // decomposition round is simulated in O(D + √n) network rounds
+        // (Lemma 5.1 / Theorem 3.1).
+        let mut construction = capprox::sparsify::congest_cost(n, bfs_depth);
+        let decomposition_rounds = session.ensemble_stats().decomposition_rounds as u64;
+        construction.add_sequential(RoundCost::rounds(
+            decomposition_rounds * (bfs_depth as u64 + sqrt_n),
+        ));
+
+        // Tree capacities (Lemma 8.3) and the per-iteration aggregations
+        // (§9.1): sample each tree's Lemma 8.2 decomposition once, run the
+        // real decomposed protocols once and remember the cost.
+        let mut rng = ChaCha8Rng::seed_from_u64(config.racke.seed ^ 0x9e3779b97f4a7c15);
+        let cut_probability = TreeDecomposition::recommended_probability(n);
+        let unit_values = vec![1.0; n];
+        let mut per_iteration = RoundCost::ZERO;
+        let mut virtual_trees = Vec::with_capacity(session.approximator().trees().len());
+        for cap_tree in session.approximator().trees() {
+            let handle = DecomposedTree::sample(cap_tree.tree.clone(), cut_probability, &mut rng);
+            let up = handle.subtree_sums(&network, &bfs.tree, &unit_values);
+            let down = handle.prefix_sums(&network, &bfs.tree, &unit_values);
+            // Computing |f'| / the tree capacities costs one aggregation per
+            // tree during construction (Lemma 8.3).
+            construction.add_sequential(up.cost);
+            // Each gradient iteration needs the y-values (subtree sums) and
+            // the potentials π (downcast) on every tree. The O(log n) trees
+            // are evaluated concurrently (their messages are pipelined over
+            // shared edges exactly like the k-value aggregations of
+            // Lemma 5.1), so the per-iteration round cost is the maximum over
+            // trees, not the sum.
+            per_iteration.add_parallel(up.cost.then(down.cost));
+            virtual_trees.push(handle);
+        }
+        // Global scalar aggregations per iteration (φ1, φ2, δ and the step
+        // bookkeeping): a constant number of converge/broadcasts on the BFS
+        // tree.
+        per_iteration.add_sequential(pipelined_broadcast_cost(&bfs.tree, 4));
+
+        // Repair tree: maximum-weight spanning tree (Kutten–Peleg,
+        // Õ(√n + D)) plus a cached Lemma 9.1 decomposition handle for the
+        // per-query residual aggregation; its deterministic cost is measured
+        // here, once.
+        let logn = (n.max(2) as f64).log2().ceil() as u64;
+        let repair_tree_construction = RoundCost::rounds((bfs_depth as u64 + sqrt_n) * logn);
+        let repair =
+            DecomposedTree::sample(session.repair_tree().clone(), cut_probability, &mut rng);
+        let per_query_repair = repair.subtree_sums(&network, &bfs.tree, &unit_values).cost;
+
+        DistributedPlan {
+            network,
+            bfs_tree: bfs.tree,
+            bfs_cost: bfs.cost,
+            bfs_depth,
+            construction,
+            per_iteration,
+            repair_tree_construction,
+            virtual_trees,
+            repair,
+            per_query_repair,
+        }
+    }
+}
+
+impl<'g> PreparedMaxFlow<'g> {
+    fn ensure_plan(&mut self) -> &DistributedPlan {
+        if self.plan.is_none() {
+            self.plan = Some(DistributedPlan::build(self));
+        }
+        self.plan.as_ref().expect("plan was just built")
+    }
+
+    /// The amortized CONGEST bill of this session: construction costs charged
+    /// once, per-iteration and per-query-repair costs charged per query.
+    ///
+    /// The measured protocols run on first use and are cached; subsequent
+    /// calls reuse the cached figures (every protocol is deterministic for a
+    /// fixed plan, which [`Self::remeasure_query_costs`] pins).
+    pub fn distributed_bill(&mut self) -> SessionBill {
+        let num_nodes = self.graph().num_nodes();
+        let plan = self.ensure_plan();
+        let prepare_total = plan
+            .bfs_cost
+            .then(plan.construction)
+            .then(plan.repair_tree_construction);
+        SessionBill {
+            bfs_construction: plan.bfs_cost,
+            approximator_construction: plan.construction,
+            repair_tree_construction: plan.repair_tree_construction,
+            prepare_total,
+            per_iteration: plan.per_iteration,
+            per_query_repair: plan.per_query_repair,
+            bfs_depth: plan.bfs_depth,
+            num_nodes,
+        }
+    }
+
+    /// Re-runs the per-query protocols through the cached [`DecomposedTree`]
+    /// handles — the subtree-sum ("y-values") and downcast (potential)
+    /// aggregations on every virtual tree plus the global scalar broadcasts,
+    /// and the residual-repair aggregation on the repair tree — and returns
+    /// the freshly measured `(per_iteration, per_query_repair)` costs.
+    ///
+    /// The protocols are deterministic for a fixed plan, so this equals the
+    /// cached [`SessionBill`] figures; the test suite uses it to pin that
+    /// the cached handles really are re-runnable.
+    pub fn remeasure_query_costs(&mut self) -> (RoundCost, RoundCost) {
+        let plan = self.ensure_plan();
+        let unit_values = vec![1.0; plan.network.num_nodes()];
+        let mut per_iteration = RoundCost::ZERO;
+        for handle in &plan.virtual_trees {
+            let up = handle.subtree_sums(&plan.network, &plan.bfs_tree, &unit_values);
+            let down = handle.prefix_sums(&plan.network, &plan.bfs_tree, &unit_values);
+            per_iteration.add_parallel(up.cost.then(down.cost));
+        }
+        per_iteration.add_sequential(pipelined_broadcast_cost(&plan.bfs_tree, 4));
+        let repair = plan
+            .repair
+            .subtree_sums(&plan.network, &plan.bfs_tree, &unit_values)
+            .cost;
+        (per_iteration, repair)
+    }
+
+    /// Runs one s–t query and returns the flow together with the standalone
+    /// CONGEST round accounting (construction charged to this call, exactly
+    /// like [`distributed_approx_max_flow`]); use
+    /// [`Self::distributed_bill`] for the amortized session accounting.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Self::max_flow`].
+    pub fn distributed_max_flow(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+    ) -> Result<DistributedMaxFlowResult, GraphError> {
+        let result = self.max_flow(s, t)?;
+        let (num_nodes, num_edges) = (self.graph().num_nodes(), self.graph().num_edges());
+        let plan = self.ensure_plan();
+        let gradient_descent = plan.per_iteration.repeat(result.iterations.max(1) as u64);
+        let mut repair = plan.repair_tree_construction;
+        repair.add_sequential(plan.per_query_repair);
+        let total = plan
+            .bfs_cost
+            .then(plan.construction)
+            .then(gradient_descent)
+            .then(repair);
+        Ok(DistributedMaxFlowResult {
+            rounds: RoundBreakdown {
+                bfs_construction: plan.bfs_cost,
+                approximator_construction: plan.construction,
+                per_iteration: plan.per_iteration,
+                gradient_descent,
+                repair,
+                total,
+            },
+            bfs_depth: plan.bfs_depth,
+            num_nodes,
+            num_edges,
+            result,
+        })
+    }
+}
+
 /// Runs the full pipeline and returns the flow together with the CONGEST
 /// round accounting.
+///
+/// Convenience wrapper equivalent to preparing a [`PreparedMaxFlow`] session
+/// and calling [`PreparedMaxFlow::distributed_max_flow`] once — every
+/// measured protocol re-runs per call. Hold a session to amortize them.
+///
+/// Since PR 3 the measured BFS tree is rooted at the canonical aggregation
+/// root `NodeId(0)` (query-independent, so one plan serves every terminal
+/// pair) instead of at `s`; for `s ≠ 0` the reported `bfs_depth` and
+/// depth-derived round charges may differ from earlier releases, the flow
+/// itself is unchanged.
 ///
 /// # Errors
 ///
@@ -101,95 +378,7 @@ pub fn distributed_approx_max_flow(
     if !g.is_connected() {
         return Err(GraphError::NotConnected);
     }
-    let n = g.num_nodes();
-    let sqrt_n = (n as f64).sqrt().ceil() as u64;
-    let network = Network::new(g.clone());
-
-    // Phase 1: global BFS tree (real protocol).
-    let bfs = build_bfs_tree(&network, s);
-    let bfs_depth = bfs.tree.max_depth();
-    let bfs_cost = bfs.cost;
-
-    // Phase 2: congestion approximator construction.
-    let ensemble = build_tree_ensemble(g, &config.racke)?;
-    let mut construction = capprox::sparsify::congest_cost(n, bfs_depth);
-    // Low-stretch spanning trees: each cluster-level decomposition round is
-    // simulated in O(D + √n) network rounds (Lemma 5.1 / Theorem 3.1).
-    let decomposition_rounds = ensemble.stats.decomposition_rounds as u64;
-    construction.add_sequential(RoundCost::rounds(
-        decomposition_rounds * (bfs_depth as u64 + sqrt_n),
-    ));
-
-    // Tree capacities (Lemma 8.3) and the per-iteration aggregations (§9.1):
-    // run the real decomposed protocols once per tree and remember the cost.
-    let mut rng = ChaCha8Rng::seed_from_u64(config.racke.seed ^ 0x9e3779b97f4a7c15);
-    let cut_probability = TreeDecomposition::recommended_probability(n);
-    let unit_values = vec![1.0; n];
-    let mut per_iteration = RoundCost::ZERO;
-    for cap_tree in &ensemble.trees {
-        let decomposition = TreeDecomposition::sample(&cap_tree.tree, cut_probability, &mut rng);
-        let up = distributed_subtree_sums(
-            &network,
-            &cap_tree.tree,
-            &decomposition,
-            &bfs.tree,
-            &unit_values,
-        );
-        let down = distributed_prefix_sums(
-            &network,
-            &cap_tree.tree,
-            &decomposition,
-            &bfs.tree,
-            &unit_values,
-        );
-        // Computing |f'| / the tree capacities costs one aggregation per tree
-        // during construction (Lemma 8.3).
-        construction.add_sequential(up.cost);
-        // Each gradient iteration needs the y-values (subtree sums) and the
-        // potentials π (downcast) on every tree. The O(log n) trees are
-        // evaluated concurrently (their messages are pipelined over shared
-        // edges exactly like the k-value aggregations of Lemma 5.1), so the
-        // per-iteration round cost is the maximum over trees, not the sum.
-        per_iteration.add_parallel(up.cost.then(down.cost));
-    }
-    // Global scalar aggregations per iteration (φ1, φ2, δ and the step
-    // bookkeeping): a constant number of converge/broadcasts on the BFS tree.
-    per_iteration.add_sequential(pipelined_broadcast_cost(&bfs.tree, 4));
-
-    // Phase 3: the gradient descent itself (centralized execution of the same
-    // arithmetic; the iteration count is what the round bill scales with).
-    let approximator = CongestionApproximator::from_ensemble(ensemble);
-    let result = approx_max_flow_with(g, &approximator, s, t, config)?;
-    let gradient_descent = per_iteration.repeat(result.iterations.max(1) as u64);
-
-    // Phase 4: residual repair — maximum-weight spanning tree (Kutten–Peleg,
-    // Õ(√n + D)) plus one aggregation over it to route the leftover demand
-    // (Lemma 9.1), measured on the actual tree.
-    let logn = (n.max(2) as f64).log2().ceil() as u64;
-    let mut repair = RoundCost::rounds((bfs_depth as u64 + sqrt_n) * logn);
-    let mst = flowgraph::max_weight_spanning_tree(g, NodeId(0))?;
-    let mst_dec = TreeDecomposition::sample(&mst, cut_probability, &mut rng);
-    let mst_route = distributed_subtree_sums(&network, &mst, &mst_dec, &bfs.tree, &unit_values);
-    repair.add_sequential(mst_route.cost);
-
-    let total = bfs_cost
-        .then(construction)
-        .then(gradient_descent)
-        .then(repair);
-    Ok(DistributedMaxFlowResult {
-        result,
-        rounds: RoundBreakdown {
-            bfs_construction: bfs_cost,
-            approximator_construction: construction,
-            per_iteration,
-            gradient_descent,
-            repair,
-            total,
-        },
-        bfs_depth,
-        num_nodes: n,
-        num_edges: g.num_edges(),
-    })
+    PreparedMaxFlow::prepare(g, config)?.distributed_max_flow(s, t)
 }
 
 /// Routes a demand over a rooted spanning tree while accounting the CONGEST
@@ -214,7 +403,7 @@ pub fn distributed_tree_routing_cost(
         &mut rng,
     );
     let values = vec![1.0; n];
-    let run = distributed_subtree_sums(&network, tree, &dec, &bfs.tree, &values);
+    let run = congest::treeops::distributed_subtree_sums(&network, tree, &dec, &bfs.tree, &values);
     (bfs.cost.then(run.cost), bfs.tree.max_depth())
 }
 
@@ -281,6 +470,62 @@ mod tests {
             "per-iteration cost {} exceeds Õ(D + √n) budget {budget}",
             dist.rounds.per_iteration.rounds
         );
+    }
+
+    #[test]
+    fn session_bill_amortizes_construction() {
+        let g = gen::grid(6, 6, 1.0);
+        // Small per-query iteration budget so the construction share is
+        // visible in the amortization ratio.
+        let cfg = config(3)
+            .with_phases(Some(2))
+            .with_max_iterations_per_phase(50);
+        let mut session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+        let bill = session.distributed_bill();
+        assert_eq!(
+            bill.prepare_total.rounds,
+            bill.bfs_construction
+                .then(bill.approximator_construction)
+                .then(bill.repair_tree_construction)
+                .rounds
+        );
+        assert!(bill.per_iteration.rounds > 0);
+        assert!(bill.per_query_repair.rounds > 0);
+
+        // The amortized bill of k queries: construction once, then k query
+        // bills — exactly what `amortized_total` composes, and strictly less
+        // than k standalone bills (which re-charge construction every time).
+        let dist = session.distributed_max_flow(NodeId(0), NodeId(35)).unwrap();
+        let iters = dist.result.iterations;
+        let k = 16;
+        let amortized = bill.amortized_total(&vec![iters; k]);
+        let per_query = bill.query_rounds(iters);
+        assert_eq!(
+            amortized.rounds,
+            bill.prepare_total.rounds + k as u64 * per_query.rounds
+        );
+        let standalone = dist.rounds.total.repeat(k as u64);
+        assert!(
+            amortized.rounds + (k as u64 - 1) * bill.prepare_total.rounds <= standalone.rounds,
+            "standalone must re-charge construction {k} times: amortized {} vs standalone {}",
+            amortized.rounds,
+            standalone.rounds
+        );
+
+        // The standalone view of a session query matches the wrapper exactly.
+        let wrapper = distributed_approx_max_flow(&g, NodeId(0), NodeId(35), &cfg).unwrap();
+        assert_eq!(wrapper.rounds, dist.rounds);
+        assert_eq!(wrapper.result.value.to_bits(), dist.result.value.to_bits());
+    }
+
+    #[test]
+    fn cached_protocol_handles_rerun_deterministically() {
+        let g = gen::grid(5, 5, 1.0);
+        let mut session = PreparedMaxFlow::prepare(&g, &config(3)).unwrap();
+        let bill = session.distributed_bill();
+        let (per_iteration, per_query_repair) = session.remeasure_query_costs();
+        assert_eq!(per_iteration, bill.per_iteration);
+        assert_eq!(per_query_repair, bill.per_query_repair);
     }
 
     #[test]

@@ -8,15 +8,44 @@
 //! complexity of the distributed execution described in the paper
 //! (`(D + √n)·n^{o(1)}·ε^{-3}` rounds, Theorem 1.1).
 //!
-//! * [`almost_route`] — Sherman's gradient descent on the soft-max potential
-//!   (Algorithm 2, §9.1);
+//! * [`session`] — the primary API: [`PreparedMaxFlow`] builds the
+//!   congestion approximator, repair tree and scratch buffers once, then
+//!   answers many `(s, t)` / demand queries against them (prepare-once /
+//!   query-many, with zero heap allocation per gradient iteration);
+//! * [`mod@almost_route`] — Sherman's gradient descent on the soft-max
+//!   potential (Algorithm 2, §9.1);
 //! * [`solver`] — the top-level reduction from max flow to congestion
-//!   minimization plus residual repair on a spanning tree (Algorithm 1);
+//!   minimization plus residual repair on a spanning tree (Algorithm 1), and
+//!   the one-shot convenience wrappers around the session;
 //! * [`distributed`] — execution of the same pipeline with CONGEST round
 //!   accounting driven by the real message-passing primitives of the
-//!   `congest` crate (BFS trees, tree decompositions, subtree aggregations).
+//!   `congest` crate (BFS trees, tree decompositions, subtree aggregations),
+//!   including the amortized [`SessionBill`] of a prepared session.
 //!
 //! # Quickstart
+//!
+//! Prepare a session once, then query it as often as needed — each query is
+//! just the cheap gradient iterations:
+//!
+//! ```
+//! use flowgraph::{gen, NodeId};
+//! use maxflow::{MaxFlowConfig, PreparedMaxFlow};
+//!
+//! let g = gen::grid(5, 5, 1.0);
+//! let mut session = PreparedMaxFlow::prepare(&g, &MaxFlowConfig::default()).unwrap();
+//! let result = session.max_flow(NodeId(0), NodeId(24)).unwrap();
+//! assert!(result.value > 0.0);
+//! assert!(result.value <= result.upper_bound);
+//! // The flow is feasible and conserves at every internal node.
+//! result.flow.validate_st_flow(&g, NodeId(0), NodeId(24), 1e-6).unwrap();
+//! // Further queries reuse the prepared approximator and scratch buffers.
+//! let reverse = session.max_flow(NodeId(24), NodeId(0)).unwrap();
+//! assert!(reverse.value > 0.0);
+//! ```
+//!
+//! The free function [`approx_max_flow`] remains as a thin one-shot wrapper
+//! (it prepares a throwaway session per call and answers byte-identically to
+//! a session with the same seed):
 //!
 //! ```
 //! use flowgraph::{gen, NodeId};
@@ -25,9 +54,6 @@
 //! let g = gen::grid(5, 5, 1.0);
 //! let result = approx_max_flow(&g, NodeId(0), NodeId(24), &MaxFlowConfig::default()).unwrap();
 //! assert!(result.value > 0.0);
-//! assert!(result.value <= result.upper_bound);
-//! // The flow is feasible and conserves at every internal node.
-//! result.flow.validate_st_flow(&g, NodeId(0), NodeId(24), 1e-6).unwrap();
 //! ```
 
 #![forbid(unsafe_code)]
@@ -35,10 +61,16 @@
 
 pub mod almost_route;
 pub mod distributed;
+pub mod session;
 pub mod solver;
 
-pub use almost_route::{almost_route, AlmostRouteConfig, AlmostRouteResult};
-pub use distributed::{distributed_approx_max_flow, DistributedMaxFlowResult, RoundBreakdown};
+pub use almost_route::{
+    almost_route, almost_route_with, AlmostRouteConfig, AlmostRouteResult, AlmostRouteScratch,
+};
+pub use distributed::{
+    distributed_approx_max_flow, DistributedMaxFlowResult, RoundBreakdown, SessionBill,
+};
+pub use session::PreparedMaxFlow;
 pub use solver::{
     approx_max_flow, approx_max_flow_with, route_demand, MaxFlowConfig, MaxFlowResult,
     RoutingResult,

@@ -1,0 +1,291 @@
+//! Build-once / query-many solver sessions.
+//!
+//! The paper's pipeline splits naturally into a *prepare* phase and a *query*
+//! phase: the congestion approximator (the Räcke ensemble of Lemma 3.3), the
+//! maximum-weight spanning tree used for residual repair and the CONGEST tree
+//! decompositions (Lemma 8.2) depend only on the graph, while each max-flow
+//! query is just `O(α²ε⁻³log²n)` cheap gradient iterations on top of them.
+//! [`PreparedMaxFlow`] materializes that split: construction happens once in
+//! [`PreparedMaxFlow::prepare`], after which any number of `(s, t)` or
+//! demand-vector queries run against the cached structures — and, thanks to
+//! the session-owned scratch buffers, with zero heap allocation per gradient
+//! iteration in the steady state.
+//!
+//! The free functions [`crate::approx_max_flow`] / [`crate::route_demand`]
+//! remain as thin convenience wrappers that prepare a throwaway session per
+//! call; a session answers byte-identically to them for the same seed.
+
+use capprox::{build_tree_ensemble, CongestionApproximator, EnsembleStats};
+use flowgraph::{max_weight_spanning_tree, Demand, Graph, GraphError, NodeId, RootedTree};
+
+use crate::almost_route::AlmostRouteScratch;
+use crate::distributed::DistributedPlan;
+use crate::solver::{
+    max_flow_engine, route_demand_engine, MaxFlowConfig, MaxFlowResult, RoutingResult,
+};
+
+/// A prepared max-flow solver session: the congestion approximator, repair
+/// tree and scratch buffers are built once, then arbitrarily many queries are
+/// answered against them.
+///
+/// Queries take `&mut self` because they reuse the session's scratch buffers;
+/// results are independent of query order and of how often the session has
+/// been used (every query is answered byte-identically to a fresh one-shot
+/// [`crate::approx_max_flow`] call with the same config).
+///
+/// # Example
+///
+/// ```
+/// use flowgraph::{gen, NodeId};
+/// use maxflow::{MaxFlowConfig, PreparedMaxFlow};
+///
+/// let g = gen::grid(5, 5, 1.0);
+/// let mut session = PreparedMaxFlow::prepare(&g, &MaxFlowConfig::default()).unwrap();
+/// let a = session.max_flow(NodeId(0), NodeId(24)).unwrap();
+/// let b = session.max_flow(NodeId(4), NodeId(20)).unwrap();
+/// assert!(a.value > 0.0 && b.value > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct PreparedMaxFlow<'g> {
+    graph: &'g Graph,
+    config: MaxFlowConfig,
+    approximator: CongestionApproximator,
+    ensemble_stats: EnsembleStats,
+    repair_tree: RootedTree,
+    scratch: AlmostRouteScratch,
+    pub(crate) plan: Option<DistributedPlan>,
+}
+
+impl<'g> PreparedMaxFlow<'g> {
+    /// Builds the session: validates the graph, constructs the congestion
+    /// approximator (the expensive part) and the maximum-weight spanning tree
+    /// for residual repair, and pre-sizes the per-query scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Empty`] / [`GraphError::NotConnected`] for
+    /// degenerate graphs.
+    pub fn prepare(graph: &'g Graph, config: &MaxFlowConfig) -> Result<Self, GraphError> {
+        if graph.num_nodes() == 0 {
+            return Err(GraphError::Empty);
+        }
+        if !graph.is_connected() {
+            return Err(GraphError::NotConnected);
+        }
+        let ensemble = build_tree_ensemble(graph, &config.racke)?;
+        let ensemble_stats = ensemble.stats.clone();
+        let approximator = CongestionApproximator::from_ensemble(ensemble);
+        let repair_tree = max_weight_spanning_tree(graph, NodeId(0))?;
+        let scratch = AlmostRouteScratch::for_instance(graph, &approximator);
+        Ok(PreparedMaxFlow {
+            graph,
+            config: config.clone(),
+            approximator,
+            ensemble_stats,
+            repair_tree,
+            scratch,
+            plan: None,
+        })
+    }
+
+    /// Computes a `(1+ε)`-approximate maximum s–t flow using the prepared
+    /// structures (Theorem 1.1, centralized execution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] / [`GraphError::SelfLoop`] for
+    /// invalid terminals.
+    pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> Result<MaxFlowResult, GraphError> {
+        max_flow_engine(
+            self.graph,
+            &self.approximator,
+            &self.repair_tree,
+            s,
+            t,
+            &self.config,
+            &mut self.scratch,
+        )
+    }
+
+    /// Answers a batch of s–t queries, equivalent to calling
+    /// [`Self::max_flow`] once per pair in order (and tested to be exactly
+    /// that); the batch form exists so callers can amortize at the call site
+    /// without writing the loop.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast with the first query error.
+    pub fn max_flow_batch(
+        &mut self,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<Vec<MaxFlowResult>, GraphError> {
+        let mut results = Vec::with_capacity(pairs.len());
+        for &(s, t) in pairs {
+            results.push(self.max_flow(s, t)?);
+        }
+        Ok(results)
+    }
+
+    /// Routes an arbitrary balanced demand vector with near-optimal
+    /// congestion (Algorithm 1 without the max-flow scaling), using the
+    /// prepared structures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DemandMismatch`] if `b` does not cover exactly
+    /// the graph's nodes.
+    pub fn route(&mut self, b: &Demand) -> Result<RoutingResult, GraphError> {
+        route_demand_engine(
+            self.graph,
+            &self.approximator,
+            &self.repair_tree,
+            b,
+            &self.config,
+            &mut self.scratch,
+        )
+    }
+
+    /// The graph this session was prepared for.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The session's solver configuration.
+    pub fn config(&self) -> &MaxFlowConfig {
+        &self.config
+    }
+
+    /// The prepared congestion approximator.
+    pub fn approximator(&self) -> &CongestionApproximator {
+        &self.approximator
+    }
+
+    /// Construction statistics of the underlying tree ensemble.
+    pub fn ensemble_stats(&self) -> &EnsembleStats {
+        &self.ensemble_stats
+    }
+
+    /// The maximum-weight spanning tree used for residual repair.
+    pub fn repair_tree(&self) -> &RootedTree {
+        &self.repair_tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use capprox::RackeConfig;
+    use flowgraph::gen;
+
+    fn config() -> MaxFlowConfig {
+        MaxFlowConfig::default()
+            .with_epsilon(0.2)
+            .with_racke(RackeConfig::default().with_num_trees(6).with_seed(11))
+            .with_phases(Some(2))
+            .with_max_iterations_per_phase(2_000)
+    }
+
+    fn bits(xs: &[f64]) -> Vec<u64> {
+        xs.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn session_matches_one_shot_byte_for_byte() {
+        let g = gen::grid(5, 5, 1.0);
+        let cfg = config();
+        let one_shot = crate::approx_max_flow(&g, NodeId(0), NodeId(24), &cfg).unwrap();
+        let mut session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+        let ses = session.max_flow(NodeId(0), NodeId(24)).unwrap();
+        assert_eq!(one_shot.value.to_bits(), ses.value.to_bits());
+        assert_eq!(one_shot.upper_bound.to_bits(), ses.upper_bound.to_bits());
+        assert_eq!(one_shot.iterations, ses.iterations);
+        assert_eq!(bits(one_shot.flow.values()), bits(ses.flow.values()));
+    }
+
+    #[test]
+    fn repeated_queries_are_deterministic() {
+        // The scratch reuse must not leak state between queries: asking the
+        // same question twice (with another query in between) gives the same
+        // bytes.
+        let g = gen::Family::Random.generate(30, 5);
+        let mut session = PreparedMaxFlow::prepare(&g, &config()).unwrap();
+        let first = session.max_flow(NodeId(0), NodeId(29)).unwrap();
+        let _interleaved = session.max_flow(NodeId(3), NodeId(17)).unwrap();
+        let second = session.max_flow(NodeId(0), NodeId(29)).unwrap();
+        assert_eq!(first.value.to_bits(), second.value.to_bits());
+        assert_eq!(bits(first.flow.values()), bits(second.flow.values()));
+    }
+
+    #[test]
+    fn batch_equals_query_loop() {
+        let g = gen::grid(4, 4, 1.0);
+        let cfg = config();
+        let pairs = [
+            (NodeId(0), NodeId(15)),
+            (NodeId(3), NodeId(12)),
+            (NodeId(0), NodeId(15)),
+        ];
+        let mut batch_session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+        let batch = batch_session.max_flow_batch(&pairs).unwrap();
+        let mut loop_session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+        for (b, &(s, t)) in batch.iter().zip(&pairs) {
+            let l = loop_session.max_flow(s, t).unwrap();
+            assert_eq!(b.value.to_bits(), l.value.to_bits());
+            assert_eq!(bits(b.flow.values()), bits(l.flow.values()));
+        }
+    }
+
+    #[test]
+    fn route_matches_free_function() {
+        let g = gen::grid(4, 4, 1.0);
+        let cfg = config();
+        let b = Demand::st(&g, NodeId(0), NodeId(15), 1.5);
+        let mut session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+        let ses = session.route(&b).unwrap();
+        let free = crate::route_demand(&g, session.approximator(), &b, &cfg).unwrap();
+        assert_eq!(bits(ses.flow.values()), bits(free.flow.values()));
+        assert_eq!(ses.iterations, free.iterations);
+    }
+
+    #[test]
+    fn misuse_is_reported_as_errors() {
+        let g = gen::path(5, 1.0);
+        let mut session = PreparedMaxFlow::prepare(&g, &config()).unwrap();
+        assert!(matches!(
+            session.max_flow(NodeId(0), NodeId(9)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            session.max_flow(NodeId(2), NodeId(2)),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            session.route(&Demand::zeros(3)),
+            Err(GraphError::DemandMismatch {
+                expected: 5,
+                actual: 3
+            })
+        ));
+        let mut disconnected = Graph::with_nodes(4);
+        disconnected.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        assert!(matches!(
+            PreparedMaxFlow::prepare(&disconnected, &config()),
+            Err(GraphError::NotConnected)
+        ));
+        assert!(matches!(
+            PreparedMaxFlow::prepare(&Graph::with_nodes(0), &config()),
+            Err(GraphError::Empty)
+        ));
+    }
+
+    #[test]
+    fn accessors_expose_prepared_structures() {
+        let g = gen::grid(4, 4, 1.0);
+        let session = PreparedMaxFlow::prepare(&g, &config()).unwrap();
+        assert_eq!(session.graph().num_nodes(), 16);
+        assert_eq!(session.approximator().num_nodes(), 16);
+        assert_eq!(session.ensemble_stats().num_trees, 6);
+        assert_eq!(session.repair_tree().num_nodes(), 16);
+        assert!((session.config().epsilon - 0.2).abs() < 1e-12);
+    }
+}

@@ -11,10 +11,10 @@
 //! max flow) makes the scaled value a `(1+ε)`-approximation.
 
 use capprox::{CongestionApproximator, RackeConfig};
-use flowgraph::{max_weight_spanning_tree, Demand, FlowVec, Graph, GraphError, NodeId};
+use flowgraph::{max_weight_spanning_tree, Demand, FlowVec, Graph, GraphError, NodeId, RootedTree};
 use serde::{Deserialize, Serialize};
 
-use crate::almost_route::{almost_route, AlmostRouteConfig};
+use crate::almost_route::{almost_route_with, AlmostRouteConfig, AlmostRouteScratch};
 
 /// Configuration for the approximate max-flow solver.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -46,18 +46,47 @@ impl Default for MaxFlowConfig {
 }
 
 impl MaxFlowConfig {
-    /// Convenience constructor fixing ε.
-    pub fn with_epsilon(epsilon: f64) -> Self {
-        MaxFlowConfig {
-            epsilon,
-            ..Default::default()
-        }
+    /// Replaces the target approximation parameter ε.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
     }
 
     /// Replaces the RNG seed used by the approximator construction.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.racke = self.racke.clone().with_seed(seed);
+        self
+    }
+
+    /// Replaces the congestion-approximator construction configuration.
+    #[must_use]
+    pub fn with_racke(mut self, racke: RackeConfig) -> Self {
+        self.racke = racke;
+        self
+    }
+
+    /// Overrides the approximator quality α assumed by the gradient descent
+    /// (`None` restores the provable bound).
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: Option<f64>) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Replaces the cap on gradient iterations per `AlmostRoute` phase.
+    #[must_use]
+    pub fn with_max_iterations_per_phase(mut self, cap: usize) -> Self {
+        self.max_iterations_per_phase = cap;
+        self
+    }
+
+    /// Replaces the number of `AlmostRoute` phases (`None` restores the
+    /// `log m + 1` schedule of Algorithm 1).
+    #[must_use]
+    pub fn with_phases(mut self, phases: Option<usize>) -> Self {
+        self.phases = phases;
         self
     }
 }
@@ -110,20 +139,52 @@ impl MaxFlowResult {
 /// repeated `AlmostRoute` phases on the residual followed by an exact repair
 /// over a maximum-weight spanning tree.
 ///
+/// Convenience wrapper that rebuilds the repair tree and scratch buffers per
+/// call; prefer [`crate::PreparedMaxFlow::route`] when issuing several
+/// queries against one graph.
+///
 /// # Errors
 ///
-/// Returns an error if the graph is empty or disconnected.
-///
-/// # Panics
-///
-/// Panics if `b` does not match the graph's node count.
+/// Returns [`GraphError::DemandMismatch`] if `b` does not match the graph's
+/// node count, and [`GraphError::Empty`] / [`GraphError::NotConnected`] for
+/// degenerate graphs.
 pub fn route_demand(
     g: &Graph,
     r: &CongestionApproximator,
     b: &Demand,
     config: &MaxFlowConfig,
 ) -> Result<RoutingResult, GraphError> {
-    assert_eq!(b.len(), g.num_nodes(), "demand length mismatch");
+    if g.num_nodes() == 0 {
+        return Err(GraphError::Empty);
+    }
+    if b.len() != g.num_nodes() {
+        return Err(GraphError::DemandMismatch {
+            expected: g.num_nodes(),
+            actual: b.len(),
+        });
+    }
+    let repair_tree = max_weight_spanning_tree(g, NodeId(0))?;
+    let mut scratch = AlmostRouteScratch::default();
+    route_demand_engine(g, r, &repair_tree, b, config, &mut scratch)
+}
+
+/// The shared routing engine behind [`route_demand`] and
+/// [`crate::PreparedMaxFlow::route`]: the repair tree and the gradient
+/// scratch are supplied by the caller, so a session amortizes both.
+pub(crate) fn route_demand_engine(
+    g: &Graph,
+    r: &CongestionApproximator,
+    repair_tree: &RootedTree,
+    b: &Demand,
+    config: &MaxFlowConfig,
+    scratch: &mut AlmostRouteScratch,
+) -> Result<RoutingResult, GraphError> {
+    if b.len() != g.num_nodes() {
+        return Err(GraphError::DemandMismatch {
+            expected: g.num_nodes(),
+            actual: b.len(),
+        });
+    }
     if g.num_nodes() == 0 {
         return Err(GraphError::Empty);
     }
@@ -143,28 +204,27 @@ pub fn route_demand(
     let mut total = FlowVec::zeros(g.num_edges());
     let mut iterations = 0usize;
     let mut executed_phases = 0usize;
-    let initial_norm = r.congestion_lower_bound(b).max(f64::MIN_POSITIVE);
+    let initial_norm = scratch.congestion_lower_bound(r, b).max(f64::MIN_POSITIVE);
     // Once the residual is this small relative to the original demand, the
     // exact tree repair contributes only a negligible amount of congestion,
     // so further AlmostRoute phases would be wasted work.
     let stop_norm = initial_norm * (config.epsilon * 1e-2).max(1e-6);
     for _ in 0..phases {
         let residual = b.residual(g, &total);
-        let norm = r.congestion_lower_bound(&residual);
+        let norm = scratch.congestion_lower_bound(r, &residual);
         if norm <= stop_norm {
             break;
         }
-        let ar = almost_route(g, r, &residual, &ar_config);
+        let ar = almost_route_with(g, r, &residual, &ar_config, scratch);
         iterations += ar.iterations;
         executed_phases += 1;
         total.add_assign(&ar.flow);
     }
 
-    // Steps 5–6 of Algorithm 1: repair the remaining residual exactly on a
+    // Steps 5–6 of Algorithm 1: repair the remaining residual exactly on the
     // maximum-weight spanning tree.
     let residual = b.residual(g, &total);
-    let tree = max_weight_spanning_tree(g, NodeId(0))?;
-    let repair = tree.route_demand_on_graph(g, &residual)?;
+    let repair = repair_tree.route_demand_on_graph(g, &residual)?;
     total.add_assign(&repair);
 
     let congestion = total.max_congestion(g);
@@ -182,6 +242,11 @@ pub fn route_demand(
 /// The returned flow is always feasible; `upper_bound` certifies how close to
 /// optimal it is (`value ≤ maxflow ≤ upper_bound`).
 ///
+/// Convenience wrapper equivalent to
+/// `PreparedMaxFlow::prepare(g, config)?.max_flow(s, t)` — it rebuilds the
+/// congestion approximator and repair tree on every call. Prefer
+/// [`crate::PreparedMaxFlow`] when several queries hit one graph.
+///
 /// # Errors
 ///
 /// Returns [`GraphError::Empty`] / [`GraphError::NotConnected`] for degenerate
@@ -192,13 +257,15 @@ pub fn approx_max_flow(
     t: NodeId,
     config: &MaxFlowConfig,
 ) -> Result<MaxFlowResult, GraphError> {
-    let r = CongestionApproximator::build(g, &config.racke)?;
-    approx_max_flow_with(g, &r, s, t, config)
+    crate::PreparedMaxFlow::prepare(g, config)?.max_flow(s, t)
 }
 
 /// Like [`approx_max_flow`] but re-uses an already constructed congestion
 /// approximator (useful when solving several terminal pairs on one graph, and
 /// for the distributed driver which accounts the construction separately).
+///
+/// Convenience wrapper that still rebuilds the repair tree and scratch
+/// buffers per call; [`crate::PreparedMaxFlow`] amortizes those too.
 ///
 /// # Errors
 ///
@@ -213,6 +280,27 @@ pub fn approx_max_flow_with(
     if g.num_nodes() == 0 {
         return Err(GraphError::Empty);
     }
+    if !g.is_connected() {
+        return Err(GraphError::NotConnected);
+    }
+    let repair_tree = max_weight_spanning_tree(g, NodeId(0))?;
+    let mut scratch = AlmostRouteScratch::default();
+    max_flow_engine(g, r, &repair_tree, s, t, config, &mut scratch)
+}
+
+/// The shared query engine behind [`approx_max_flow`],
+/// [`approx_max_flow_with`] and [`crate::PreparedMaxFlow::max_flow`]. The
+/// graph is assumed non-empty and connected (validated when the session is
+/// prepared); terminals are validated here, per query.
+pub(crate) fn max_flow_engine(
+    g: &Graph,
+    r: &CongestionApproximator,
+    repair_tree: &RootedTree,
+    s: NodeId,
+    t: NodeId,
+    config: &MaxFlowConfig,
+    scratch: &mut AlmostRouteScratch,
+) -> Result<MaxFlowResult, GraphError> {
     for v in [s, t] {
         if v.index() >= g.num_nodes() {
             return Err(GraphError::NodeOutOfRange {
@@ -224,15 +312,12 @@ pub fn approx_max_flow_with(
     if s == t {
         return Err(GraphError::SelfLoop { node: s.index() });
     }
-    if !g.is_connected() {
-        return Err(GraphError::NotConnected);
-    }
 
     // Target flow value: the smallest s-t cut among the approximator's rows.
     // Every row is an actual cut of G, so this is a certified upper bound on
     // the maximum flow (max-flow min-cut).
     let unit = Demand::st(g, s, t, 1.0);
-    let unit_congestion = r.congestion_lower_bound(&unit);
+    let unit_congestion = scratch.congestion_lower_bound(r, &unit);
     if unit_congestion <= 0.0 {
         // No cut of the ensemble separates s and t — impossible for spanning
         // trees of a connected graph, treat as malformed input.
@@ -245,7 +330,7 @@ pub fn approx_max_flow_with(
     let target = (1.0 / unit_congestion).min(degree_cut);
 
     let demand = Demand::st(g, s, t, target);
-    let routing = route_demand(g, r, &demand, config)?;
+    let routing = route_demand_engine(g, r, repair_tree, &demand, config, scratch)?;
 
     // Scale down to feasibility. If the congestion is below 1 the flow is
     // already feasible and ships the full upper bound (then it is exactly

@@ -101,12 +101,23 @@ impl FlowVec {
     /// at node `v`, with `B_{ve} = 1` if `e = (u, v)` enters `v`).
     pub fn excess(&self, g: &Graph) -> Vec<f64> {
         let mut ex = vec![0.0; g.num_nodes()];
+        self.excess_into(g, &mut ex);
+        ex
+    }
+
+    /// Writes the excess vector `Bf` into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` does not equal the graph's node count.
+    pub fn excess_into(&self, g: &Graph, out: &mut [f64]) {
+        assert_eq!(out.len(), g.num_nodes(), "excess buffer length mismatch");
+        out.fill(0.0);
         for (id, e) in g.edges() {
             let f = self.values[id.index()];
-            ex[e.head.index()] += f;
-            ex[e.tail.index()] -= f;
+            out[e.head.index()] += f;
+            out[e.tail.index()] -= f;
         }
-        ex
     }
 
     /// Net flow out of the source for an s–t flow: the value `F` of the flow
@@ -182,7 +193,7 @@ impl FlowVec {
 ///
 /// Positive entries are sources of demand, negative entries are sinks; the
 /// congestion-minimization problem asks for a flow whose excess equals `b`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Demand {
     values: Vec<f64>,
 }
@@ -273,14 +284,25 @@ impl Demand {
 
     /// Residual demand `b - Bf`: what remains to be routed after applying `f`.
     pub fn residual(&self, g: &Graph, f: &FlowVec) -> Demand {
-        let ex = f.excess(g);
-        let values = self
-            .values
-            .iter()
-            .zip(ex.iter())
-            .map(|(b, e)| b - e)
-            .collect();
-        Demand { values }
+        let mut out = Demand::zeros(self.values.len());
+        self.residual_into(g, f, &mut out);
+        out
+    }
+
+    /// Writes the residual demand `b - Bf` into `out` without allocating
+    /// (the buffer reuse behind the session API's allocation-free gradient
+    /// iterations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this demand or `out` does not cover exactly the graph's
+    /// nodes.
+    pub fn residual_into(&self, g: &Graph, f: &FlowVec, out: &mut Demand) {
+        assert_eq!(self.values.len(), g.num_nodes(), "demand length mismatch");
+        f.excess_into(g, &mut out.values);
+        for (r, b) in out.values.iter_mut().zip(self.values.iter()) {
+            *r = b - *r;
+        }
     }
 }
 

@@ -86,6 +86,14 @@ pub enum GraphError {
     },
     /// The operation requires a non-empty graph.
     Empty,
+    /// A demand / price vector did not match the dimension the operator was
+    /// built for (demand entries per node, prices per operator row).
+    DemandMismatch {
+        /// The dimension the operation expected.
+        expected: usize,
+        /// The dimension that was supplied.
+        actual: usize,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -109,6 +117,12 @@ impl std::fmt::Display for GraphError {
             GraphError::NotConnected => write!(f, "graph is not connected"),
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
             GraphError::Empty => write!(f, "graph is empty"),
+            GraphError::DemandMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "vector of length {actual} does not match the expected dimension {expected}"
+                )
+            }
         }
     }
 }

@@ -271,19 +271,31 @@ impl RootedTree {
 
     /// Per-node sums over subtrees: `out[v] = Σ_{w in subtree(v)} values[w]`.
     pub fn subtree_sums(&self, values: &[f64]) -> Vec<f64> {
+        let mut sums = vec![0.0; self.num_nodes()];
+        self.subtree_sums_into(values, &mut sums);
+        sums
+    }
+
+    /// Writes all subtree sums of `values` into `out` without allocating
+    /// (used by the allocation-free operator evaluations of the session API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` or `out.len()` does not equal the node count.
+    pub fn subtree_sums_into(&self, values: &[f64], out: &mut [f64]) {
         assert_eq!(
             values.len(),
             self.num_nodes(),
             "value vector length mismatch"
         );
-        let mut sums = values.to_vec();
+        assert_eq!(out.len(), self.num_nodes(), "output buffer length mismatch");
+        out.copy_from_slice(values);
         for &v in self.order.iter().rev() {
             if let Some(p) = self.parent(v) {
-                let add = sums[v.index()];
-                sums[p.index()] += add;
+                let add = out[v.index()];
+                out[p.index()] += add;
             }
         }
-        sums
     }
 
     /// Per-node sums of `values` along the path from the root down to each
@@ -292,12 +304,24 @@ impl RootedTree {
     /// This is the "downcast" aggregation used to accumulate node potentials
     /// (§9.1).
     pub fn prefix_sums_from_root(&self, values: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.num_nodes()];
+        self.prefix_sums_from_root_into(values, &mut out);
+        out
+    }
+
+    /// Writes all root-to-node prefix sums of `values` into `out` without
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` or `out.len()` does not equal the node count.
+    pub fn prefix_sums_from_root_into(&self, values: &[f64], out: &mut [f64]) {
         assert_eq!(
             values.len(),
             self.num_nodes(),
             "value vector length mismatch"
         );
-        let mut out = vec![0.0; self.num_nodes()];
+        assert_eq!(out.len(), self.num_nodes(), "output buffer length mismatch");
         for &v in &self.order {
             let base = match self.parent(v) {
                 Some(p) => out[p.index()],
@@ -305,7 +329,6 @@ impl RootedTree {
             };
             out[v.index()] = base + values[v.index()];
         }
-        out
     }
 
     /// Distance from the root to every node where the parent edge of `v` has

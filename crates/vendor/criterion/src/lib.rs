@@ -62,6 +62,17 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Work performed per benchmark iteration, mirroring `criterion::Throughput`:
+/// when set on a group, reports gain `elements_per_sec` / `bytes_per_sec`
+/// rates (and the corresponding fields in the `BENCH_JSON` records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The routine processes this many logical elements (e.g. queries).
+    Elements(u64),
+    /// The routine processes this many bytes.
+    Bytes(u64),
+}
+
 /// Times closures handed to it by benchmark routines.
 #[derive(Debug, Default)]
 pub struct Bencher {
@@ -93,17 +104,39 @@ struct Report {
     mean_ns: u128,
     max_ns: u128,
     samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Report {
+    /// `(json_fields, human_suffix)` for the configured throughput, rates
+    /// computed from the mean sample.
+    fn throughput_rendering(&self) -> (String, String) {
+        let Some(throughput) = self.throughput else {
+            return (String::new(), String::new());
+        };
+        let (label, amount) = match throughput {
+            Throughput::Elements(n) => ("elements", n),
+            Throughput::Bytes(n) => ("bytes", n),
+        };
+        let per_sec = amount as f64 * 1e9 / (self.mean_ns.max(1) as f64);
+        (
+            format!(",\"throughput_{label}\":{amount},\"{label}_per_sec\":{per_sec:.3}"),
+            format!("  {per_sec:.1} {label}/s"),
+        )
+    }
 }
 
 fn emit(report: &Report) {
+    let (json_throughput, human_throughput) = report.throughput_rendering();
     println!(
-        "bench {group}/{id:<40} min {min} ns  mean {mean} ns  max {max} ns  ({n} samples)",
+        "bench {group}/{id:<40} min {min} ns  mean {mean} ns  max {max} ns  ({n} samples){tp}",
         group = report.group,
         id = report.id,
         min = report.min_ns,
         mean = report.mean_ns,
         max = report.max_ns,
         n = report.samples,
+        tp = human_throughput,
     );
     if let Some(path) = std::env::var_os("BENCH_JSON") {
         if let Ok(mut f) = std::fs::OpenOptions::new()
@@ -113,8 +146,9 @@ fn emit(report: &Report) {
         {
             let _ = writeln!(
                 f,
-                "{{\"group\":\"{}\",\"id\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+                "{{\"group\":\"{}\",\"id\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{}{}}}",
                 report.group, report.id, report.min_ns, report.mean_ns, report.max_ns, report.samples,
+                json_throughput,
             );
         }
     }
@@ -124,6 +158,7 @@ fn emit(report: &Report) {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
@@ -131,6 +166,13 @@ impl BenchmarkGroup<'_> {
     /// Sets the number of timed samples per benchmark.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n;
+        self
+    }
+
+    /// Declares the work performed per iteration of the benchmarks that
+    /// follow; reports gain a derived throughput rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
         self
     }
 
@@ -192,6 +234,7 @@ impl BenchmarkGroup<'_> {
             mean_ns: bencher.samples_ns.iter().sum::<u128>() / n as u128,
             max_ns: *bencher.samples_ns.iter().max().expect("non-empty"),
             samples: n,
+            throughput: self.throughput,
         });
     }
 }
@@ -206,6 +249,7 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: 10,
+            throughput: None,
             _criterion: self,
         }
     }

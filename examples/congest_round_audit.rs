@@ -71,4 +71,27 @@ fn main() {
         dist.result.value,
         100.0 * dist.result.certified_ratio()
     );
+
+    // Amortized accounting: a prepared session pays the construction items
+    // once and each further query only the per-iteration + repair bill.
+    println!();
+    let mut session = maxflow::PreparedMaxFlow::prepare(&g, &config).expect("connected");
+    let bill = session.distributed_bill();
+    let iters = dist.result.iterations;
+    let queries = 16usize;
+    let amortized = bill.amortized_total(&vec![iters; queries]);
+    let standalone = dist.rounds.total.repeat(queries as u64);
+    println!("amortized session bill for {queries} queries on the expander:");
+    println!(
+        "  prepare once             : {} rounds",
+        bill.prepare_total.rounds
+    );
+    println!(
+        "  per query ({iters} iterations): {} rounds",
+        bill.query_rounds(iters).rounds
+    );
+    println!(
+        "  session total            : {} rounds (call-per-query: {})",
+        amortized.rounds, standalone.rounds
+    );
 }

@@ -73,7 +73,7 @@ fn main() {
     );
 
     // Which cut is the certificate? Report the most congested tree cut.
-    let rows = r.apply(&demand);
+    let rows = r.apply(&demand).expect("demand covers every node");
     let (worst_row, _) = rows
         .iter()
         .enumerate()

@@ -14,7 +14,7 @@
 
 use baselines::dinic;
 use flowgraph::{Graph, NodeId};
-use maxflow::{approx_max_flow, MaxFlowConfig};
+use maxflow::{MaxFlowConfig, PreparedMaxFlow};
 
 fn main() {
     let leaves = 6usize;
@@ -42,15 +42,22 @@ fn main() {
     // rack 0 and one host of rack 1, then between the leaves themselves.
     let (s, t) = (host(0, 0), host(1, 0));
 
-    let config = MaxFlowConfig::with_epsilon(0.1);
-    let host_to_host = approx_max_flow(&g, s, t, &config).expect("fabric is connected");
+    // A capacity planner asks many questions about one fabric, so prepare
+    // the solver session once (congestion approximator, repair tree, scratch
+    // buffers) and run every what-if query against it.
+    let config = MaxFlowConfig::default().with_epsilon(0.1);
+    let mut session = PreparedMaxFlow::prepare(&g, &config).expect("fabric is connected");
+
+    let host_to_host = session.max_flow(s, t).expect("valid terminals");
     let exact = dinic::max_flow(&g, s, t).expect("valid terminals");
     println!(
         "host-to-host bandwidth      : {:.1} Gb/s (exact {:.1})",
         host_to_host.value, exact.value
     );
 
-    let leaf_to_leaf = approx_max_flow(&g, leaf(0), leaf(leaves - 1), &config).expect("connected");
+    let leaf_to_leaf = session
+        .max_flow(leaf(0), leaf(leaves - 1))
+        .expect("valid terminals");
     let exact_leaf = dinic::max_flow(&g, leaf(0), leaf(leaves - 1)).expect("valid terminals");
     println!(
         "rack-to-rack (leaf) bandwidth: {:.1} Gb/s (exact {:.1}, certified ≥ {:.0}%)",
@@ -74,4 +81,17 @@ fn main() {
     for (load, name) in congested.iter().take(4) {
         println!("  {name:<12} {:.0}% utilised", 100.0 * load);
     }
+
+    // The session answers a whole what-if batch (every host pair of the two
+    // racks) without rebuilding anything.
+    let pairs: Vec<(NodeId, NodeId)> = (0..hosts_per_rack)
+        .map(|i| (host(0, i), host(1, i)))
+        .collect();
+    let batch = session.max_flow_batch(&pairs).expect("valid terminals");
+    let total: f64 = batch.iter().map(|r| r.value).sum();
+    println!(
+        "what-if batch               : {} host pairs answered from one prepared session, \
+         {total:.1} Gb/s combined",
+        batch.len()
+    );
 }

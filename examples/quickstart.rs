@@ -15,7 +15,7 @@ fn main() {
     let s = NodeId(0);
     let t = NodeId((g.num_nodes() - 1) as u32);
 
-    let config = MaxFlowConfig::with_epsilon(0.1);
+    let config = MaxFlowConfig::default().with_epsilon(0.1);
     let approx = approx_max_flow(&g, s, t, &config).expect("grid is connected");
     let exact = dinic::max_flow(&g, s, t).expect("valid terminals");
 
