@@ -14,6 +14,7 @@ fn solver_config(eps: f64) -> MaxFlowConfig {
         alpha: None,
         max_iterations_per_phase: 2_000,
         phases: Some(2),
+        ..Default::default()
     }
 }
 
@@ -61,6 +62,7 @@ fn bench_almost_route_epsilon(c: &mut Criterion) {
                         epsilon: eps,
                         alpha: None,
                         max_iterations: 50_000,
+                        ..Default::default()
                     },
                 )
                 .iterations

@@ -1,0 +1,83 @@
+//! Batch-query throughput scaling across thread counts (the PR-4 acceptance
+//! numbers in `BENCH_pr4.json`).
+//!
+//! Serving posture: one prepared session per 10k-node instance, a batch of
+//! 64 mixed `(s, t)` queries answered through
+//! `PreparedMaxFlow::par_max_flow_batch` at 1 / 2 / 4 / 8 worker threads.
+//! The determinism contract means every arm computes the *same bytes* — the
+//! only thing that varies with the thread count is the wall clock, which is
+//! exactly what the `threads`-tagged `BENCH_JSON` records capture (together
+//! with `host_cpus`, so the CI scaling gate knows whether the recording
+//! machine could physically exhibit a speedup: on a single-core container
+//! the 4-thread arm measures scheduling overhead, not parallelism).
+
+use capprox::RackeConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowgraph::{gen, Graph, NodeId};
+use maxflow::{MaxFlowConfig, Parallelism, PreparedMaxFlow};
+use rand::Rng;
+
+/// Queries per batch, as in the PR acceptance criterion.
+const QUERIES: usize = 64;
+
+/// Same serving configuration as the `query_throughput` bench: Lemma 3.3
+/// default tree count, one phase, tight per-query gradient budget.
+fn serving_config() -> MaxFlowConfig {
+    MaxFlowConfig::default()
+        .with_epsilon(0.3)
+        .with_racke(RackeConfig::default().with_seed(1))
+        .with_phases(Some(1))
+        .with_max_iterations_per_phase(6)
+}
+
+fn instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("fat_tree_10k", gen::fat_tree(64, 16, 155, 10.0, 40.0)),
+        ("grid_10k", gen::grid(100, 100, 1.0)),
+    ]
+}
+
+/// 64 deterministic mixed terminal pairs (distinct endpoints) per instance.
+fn query_mix(g: &Graph, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let n = g.num_nodes() as u32;
+    let mut rng = gen::rng(seed);
+    let mut pairs = Vec::with_capacity(QUERIES);
+    while pairs.len() < QUERIES {
+        let s = NodeId(rng.gen_range(0..n));
+        let t = NodeId(rng.gen_range(0..n));
+        if s != t {
+            pairs.push((s, t));
+        }
+    }
+    pairs
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    for threads in [1usize, 2, 4, 8] {
+        let mut group = c.benchmark_group("parallel_scaling");
+        group.sample_size(2);
+        group.throughput(Throughput::Elements(QUERIES as u64));
+        group.threads(threads);
+        let config = serving_config().with_parallelism(Parallelism::with_threads(threads));
+        for (name, g) in instances() {
+            let pairs = query_mix(&g, 0xfee1);
+            // Prepare once outside the timed region: the scaling question is
+            // about warm batch throughput, not construction.
+            let mut session = PreparedMaxFlow::prepare(&g, &config).expect("instance is connected");
+            group.bench_with_input(
+                BenchmarkId::new(format!("batch64_t{threads}"), name),
+                &g,
+                |b, _| {
+                    b.iter(|| {
+                        let results = session.par_max_flow_batch(&pairs).expect("valid terminals");
+                        results.iter().map(|r| r.value).sum::<f64>()
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_parallel_scaling);
+criterion_main!(benches);

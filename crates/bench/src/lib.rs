@@ -60,6 +60,7 @@ fn solver_config(eps: f64, seed: u64) -> MaxFlowConfig {
         alpha: None,
         max_iterations_per_phase: 3_000,
         phases: Some(3),
+        ..Default::default()
     }
 }
 
@@ -240,6 +241,7 @@ pub fn table5_iterations(n: usize, epsilons: &[f64]) -> Experiment {
                 epsilon: eps,
                 alpha: None,
                 max_iterations: 200_000,
+                ..Default::default()
             },
         );
         out.push_str(&format!(

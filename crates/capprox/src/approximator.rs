@@ -11,9 +11,16 @@
 //! The two linear operators needed by Sherman's gradient descent — `R·b` and
 //! `Rᵀ·y` — are tree aggregations: subtree sums for `R` and root-to-node
 //! prefix sums for `Rᵀ` (§9.1), which is what makes the distributed
-//! evaluation possible in `Õ(√n + D)` rounds.
+//! evaluation possible in `Õ(√n + D)` rounds. The same independence that
+//! makes the *distributed* evaluation cheap makes the *threaded* one cheap:
+//! each tree's aggregation touches only that tree, so
+//! [`CongestionApproximator::apply_into_par`] and
+//! [`CongestionApproximator::apply_transpose_into_par`] fan the per-tree work
+//! across a worker pool and reduce in fixed tree order, producing results
+//! byte-identical to the sequential evaluation for any thread count.
 
 use flowgraph::{Demand, Graph, GraphError};
+use parallel::Parallelism;
 use serde::{Deserialize, Serialize};
 
 use crate::racke::{build_tree_ensemble, CapacitatedTree, RackeConfig, TreeEnsemble};
@@ -25,6 +32,14 @@ pub struct CongestionApproximator {
     trees: Vec<CapacitatedTree>,
     num_nodes: usize,
 }
+
+// The parallel operator evaluations share `&CongestionApproximator` (and the
+// ensembles it is built from) across worker threads; pin thread-safety at
+// compile time so a future field can't silently revoke it.
+const _: fn() = parallel::assert_send_sync::<CongestionApproximator>;
+const _: fn() = parallel::assert_send_sync::<TreeEnsemble>;
+const _: fn() = parallel::assert_send_sync::<CapacitatedTree>;
+const _: fn() = parallel::assert_send_sync::<OperatorScratch>;
 
 /// Reusable node-sized buffers for the allocation-free operator evaluations
 /// [`CongestionApproximator::apply_into`] and
@@ -38,6 +53,12 @@ pub struct CongestionApproximator {
 pub struct OperatorScratch {
     node_a: Vec<f64>,
     node_b: Vec<f64>,
+    /// Tree-major workspaces (`num_trees × num_nodes`) backing the parallel
+    /// operator evaluations: each tree's worker gets its own disjoint
+    /// node-sized chunk, so no two workers share a buffer. Sized lazily on
+    /// the first parallel call — sequential callers never pay for them.
+    tree_a: Vec<f64>,
+    tree_b: Vec<f64>,
 }
 
 impl OperatorScratch {
@@ -46,6 +67,8 @@ impl OperatorScratch {
         OperatorScratch {
             node_a: vec![0.0; n],
             node_b: vec![0.0; n],
+            tree_a: Vec::new(),
+            tree_b: Vec::new(),
         }
     }
 
@@ -57,6 +80,19 @@ impl OperatorScratch {
         }
         if self.node_b.len() != n {
             self.node_b.resize(n, 0.0);
+        }
+    }
+
+    /// Sizes the tree-major workspaces for a `trees × n` parallel evaluation
+    /// (`both` additionally sizes the second workspace, needed by `Rᵀ`).
+    /// No-op once warm, like [`Self::ensure_nodes`].
+    fn ensure_tree_major(&mut self, trees: usize, n: usize, both: bool) {
+        let len = trees * n;
+        if self.tree_a.len() != len {
+            self.tree_a.resize(len, 0.0);
+        }
+        if both && self.tree_b.len() != len {
+            self.tree_b.resize(len, 0.0);
         }
     }
 }
@@ -182,6 +218,63 @@ impl CongestionApproximator {
         Ok(())
     }
 
+    /// [`Self::apply_into`] with the per-tree subtree aggregations fanned
+    /// across the workers of `par`. The row block of each tree is a disjoint
+    /// chunk of `rows` and each worker aggregates into its own chunk of the
+    /// scratch's tree-major workspace, so the result is **byte-identical** to
+    /// the sequential evaluation for every thread count;
+    /// `Parallelism::sequential()` takes the sequential path exactly.
+    ///
+    /// Each parallel call spawns its scoped workers afresh (tens of
+    /// microseconds), so the fan-out pays off when the per-call work —
+    /// `O(num_trees × n)` — dominates that setup: large instances, or the
+    /// default `O(log n)`-tree ensembles on 10k+ nodes. For many small
+    /// queries, prefer fanning out at the query level
+    /// (`PreparedMaxFlow::par_max_flow_batch` in the `maxflow` crate), which
+    /// spawns once per batch.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::apply_into`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::apply_into`].
+    pub fn apply_into_par(
+        &self,
+        b: &Demand,
+        rows: &mut [f64],
+        scratch: &mut OperatorScratch,
+        par: &Parallelism,
+    ) -> Result<(), GraphError> {
+        if par.is_sequential() || self.trees.len() <= 1 || self.num_nodes == 0 {
+            return self.apply_into(b, rows, scratch);
+        }
+        if b.len() != self.num_nodes {
+            return Err(GraphError::DemandMismatch {
+                expected: self.num_nodes,
+                actual: b.len(),
+            });
+        }
+        assert_eq!(rows.len(), self.num_rows(), "row buffer length mismatch");
+        let n = self.num_nodes;
+        scratch.ensure_tree_major(self.trees.len(), n, false);
+        let tasks: Vec<(&CapacitatedTree, &mut [f64], &mut [f64])> = self
+            .trees
+            .iter()
+            .zip(rows.chunks_mut(n))
+            .zip(scratch.tree_a.chunks_mut(n))
+            .map(|((t, out), tmp)| (t, out, tmp))
+            .collect();
+        par.for_each_owned(tasks, |_, (t, out, tmp)| {
+            t.tree.subtree_sums_into(b.values(), tmp);
+            for ((r, &sum), &cap) in out.iter_mut().zip(tmp.iter()).zip(&t.cut_capacity) {
+                *r = if cap > 0.0 { sum / cap } else { 0.0 };
+            }
+        });
+        Ok(())
+    }
+
     /// `‖R·b‖_∞` — the approximator's estimate (lower bound) of the optimal
     /// congestion needed to route `b` in `G`.
     ///
@@ -205,10 +298,24 @@ impl CongestionApproximator {
     ///
     /// Panics if `b.len()` does not match the approximator's node count.
     pub fn congestion_upper_bound(&self, g: &Graph, b: &Demand) -> f64 {
-        self.trees
-            .iter()
-            .map(|t| t.tree_routing_congestion(g, b))
-            .fold(f64::INFINITY, f64::min)
+        self.congestion_upper_bound_par(g, b, &Parallelism::sequential())
+    }
+
+    /// [`Self::congestion_upper_bound`] with the independent per-tree
+    /// routings mapped across the workers of `par` and reduced by the
+    /// fixed-order minimum — byte-identical to sequential for any thread
+    /// count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match the approximator's node count.
+    pub fn congestion_upper_bound_par(&self, g: &Graph, b: &Demand, par: &Parallelism) -> f64 {
+        par.par_map_reduce(
+            &self.trees,
+            |_, t| t.tree_routing_congestion(g, b),
+            f64::INFINITY,
+            f64::min,
+        )
     }
 
     /// Evaluates `Rᵀ·y` for a price vector `y` (one entry per row of `R`,
@@ -275,6 +382,79 @@ impl CongestionApproximator {
                 .prefix_sums_from_root_into(&scratch.node_a, &mut scratch.node_b);
             for (p, &prefix) in potentials.iter_mut().zip(&scratch.node_b) {
                 *p += prefix;
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Self::apply_transpose_into`] with the per-tree root-path prefix sums
+    /// fanned across the workers of `par`, followed by a **fixed tree-order
+    /// reduction** on the calling thread: tree contributions are added into
+    /// `potentials` in tree index order, exactly like the sequential loop, so
+    /// the floating-point result is byte-identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::apply_transpose_into`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::apply_transpose_into`].
+    pub fn apply_transpose_into_par(
+        &self,
+        y: &[f64],
+        potentials: &mut [f64],
+        scratch: &mut OperatorScratch,
+        par: &Parallelism,
+    ) -> Result<(), GraphError> {
+        if par.is_sequential() || self.trees.len() <= 1 || self.num_nodes == 0 {
+            return self.apply_transpose_into(y, potentials, scratch);
+        }
+        if y.len() != self.num_rows() {
+            return Err(GraphError::DemandMismatch {
+                expected: self.num_rows(),
+                actual: y.len(),
+            });
+        }
+        assert_eq!(
+            potentials.len(),
+            self.num_nodes,
+            "potential buffer length mismatch"
+        );
+        let n = self.num_nodes;
+        scratch.ensure_tree_major(self.trees.len(), n, true);
+        struct TransposeTask<'a> {
+            tree: &'a CapacitatedTree,
+            y_rows: &'a [f64],
+            prices: &'a mut [f64],
+            prefix: &'a mut [f64],
+        }
+        let tasks: Vec<TransposeTask<'_>> = self
+            .trees
+            .iter()
+            .zip(y.chunks(n))
+            .zip(scratch.tree_a.chunks_mut(n))
+            .zip(scratch.tree_b.chunks_mut(n))
+            .map(|(((tree, y_rows), prices), prefix)| TransposeTask {
+                tree,
+                y_rows,
+                prices,
+                prefix,
+            })
+            .collect();
+        par.for_each_owned(tasks, |_, task| {
+            for v in 0..n {
+                let cap = task.tree.cut_capacity[v];
+                task.prices[v] = if cap > 0.0 { task.y_rows[v] / cap } else { 0.0 };
+            }
+            task.tree
+                .tree
+                .prefix_sums_from_root_into(task.prices, task.prefix);
+        });
+        potentials.fill(0.0);
+        for prefix in scratch.tree_b.chunks(n) {
+            for (p, &x) in potentials.iter_mut().zip(prefix) {
+                *p += x;
             }
         }
         Ok(())
@@ -440,6 +620,67 @@ mod tests {
             .apply_transpose_into(&y, &mut pot, &mut scratch)
             .unwrap();
         assert_eq!(pot, approx.apply_transpose(&y).unwrap());
+    }
+
+    #[test]
+    fn parallel_operators_are_byte_identical_to_sequential() {
+        use parallel::Parallelism;
+        let g = gen::random_gnp(24, 0.25, (1.0, 5.0), 17);
+        let approx = build(&g, 5, 3);
+        let mut rng = gen::rng(23);
+        let mut b = Demand::zeros(24);
+        for v in 0..24 {
+            b.set(NodeId(v), rand::Rng::gen_range(&mut rng, -2.0..2.0));
+        }
+        let y: Vec<f64> = (0..approx.num_rows())
+            .map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0))
+            .collect();
+        let seq_rows = approx.apply(&b).unwrap();
+        let seq_pot = approx.apply_transpose(&y).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let par = Parallelism::with_threads(threads);
+            let mut scratch = OperatorScratch::default();
+            let mut rows = vec![0.0; approx.num_rows()];
+            approx
+                .apply_into_par(&b, &mut rows, &mut scratch, &par)
+                .unwrap();
+            let mut pot = vec![0.0; approx.num_nodes()];
+            approx
+                .apply_transpose_into_par(&y, &mut pot, &mut scratch, &par)
+                .unwrap();
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&rows), bits(&seq_rows), "apply at {threads} threads");
+            assert_eq!(
+                bits(&pot),
+                bits(&seq_pot),
+                "apply_transpose at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_operators_report_dimension_mismatches() {
+        use parallel::Parallelism;
+        let g = gen::grid(3, 3, 1.0);
+        let approx = build(&g, 3, 5);
+        let par = Parallelism::with_threads(4);
+        let mut scratch = OperatorScratch::default();
+        let mut rows = vec![0.0; approx.num_rows()];
+        assert_eq!(
+            approx.apply_into_par(&Demand::zeros(4), &mut rows, &mut scratch, &par),
+            Err(GraphError::DemandMismatch {
+                expected: 9,
+                actual: 4
+            })
+        );
+        let mut pot = vec![0.0; approx.num_nodes()];
+        assert_eq!(
+            approx.apply_transpose_into_par(&[0.0; 3], &mut pot, &mut scratch, &par),
+            Err(GraphError::DemandMismatch {
+                expected: approx.num_rows(),
+                actual: 3
+            })
+        );
     }
 
     #[test]

@@ -54,3 +54,4 @@ pub use engine::{
     DeliveryEvent, Inbox, LocalView, MessageSize, Network, Outbox, Protocol, RunResult, Simulator,
     Transcript,
 };
+pub use parallel::Parallelism;

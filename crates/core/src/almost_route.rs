@@ -17,6 +17,7 @@
 
 use capprox::{CongestionApproximator, OperatorScratch};
 use flowgraph::{Demand, FlowVec, Graph};
+use parallel::Parallelism;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the gradient descent.
@@ -29,6 +30,13 @@ pub struct AlmostRouteConfig {
     pub alpha: Option<f64>,
     /// Hard cap on the number of gradient iterations.
     pub max_iterations: usize,
+    /// Worker pool for the per-iteration operator evaluations (`R·b`, `Rᵀ·y`
+    /// fan per-tree aggregations across threads). Purely a performance knob:
+    /// results are byte-identical to sequential for any thread count.
+    /// Machine-specific, so never serialized (deserialized configs run
+    /// sequentially).
+    #[serde(skip, default)]
+    pub parallelism: Parallelism,
 }
 
 impl Default for AlmostRouteConfig {
@@ -37,6 +45,7 @@ impl Default for AlmostRouteConfig {
             epsilon: 0.5,
             alpha: None,
             max_iterations: 20_000,
+            parallelism: Parallelism::sequential(),
         }
     }
 }
@@ -61,6 +70,13 @@ impl AlmostRouteConfig {
     #[must_use]
     pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Replaces the worker pool used for the operator evaluations.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -121,7 +137,10 @@ impl AlmostRouteScratch {
 
     /// `‖R·b‖_∞` evaluated through the scratch buffers — the allocation-free
     /// counterpart of [`CongestionApproximator::congestion_lower_bound`],
-    /// used at the phase boundaries of a session query.
+    /// used at the phase boundaries of a session query. Deliberately
+    /// sequential: phase-boundary norm checks run once per phase, not once
+    /// per iteration, so they are off the hot path the parallel operators
+    /// accelerate.
     ///
     /// # Panics
     ///
@@ -265,7 +284,8 @@ pub fn almost_route_with(
 
     loop {
         // Evaluate the potential and its gradient into the scratch buffers.
-        let phi = potential_and_gradient_scratch(g, r, &b_work, &f, alpha, scratch);
+        let phi =
+            potential_and_gradient_scratch(g, r, &b_work, &f, alpha, scratch, &config.parallelism);
         potential = phi;
 
         // Lines 4–5: while φ(f) < 16 ε⁻¹ log n, scale f and b up by 17/16.
@@ -326,12 +346,15 @@ pub fn potential_and_gradient(
     alpha: f64,
 ) -> (f64, Vec<f64>) {
     let mut scratch = AlmostRouteScratch::for_instance(g, r);
-    let phi = potential_and_gradient_scratch(g, r, b, f, alpha, &mut scratch);
+    let phi =
+        potential_and_gradient_scratch(g, r, b, f, alpha, &mut scratch, &Parallelism::sequential());
     (phi, scratch.grad)
 }
 
 /// Evaluates `φ(f)` into the return value and `∂φ/∂f` into `scratch.grad`,
-/// touching no heap memory beyond the pre-sized scratch buffers.
+/// touching no heap memory beyond the pre-sized scratch buffers (at
+/// `Parallelism::sequential()`; parallel evaluations additionally use the
+/// scratch's tree-major workspaces, warmed on first use).
 fn potential_and_gradient_scratch(
     g: &Graph,
     r: &CongestionApproximator,
@@ -339,6 +362,7 @@ fn potential_and_gradient_scratch(
     f: &FlowVec,
     alpha: f64,
     scratch: &mut AlmostRouteScratch,
+    par: &Parallelism,
 ) -> f64 {
     // φ1 = smax(C⁻¹ f).
     for (x, e) in scratch.scaled_flow.iter_mut().zip(g.edge_ids()) {
@@ -349,7 +373,7 @@ fn potential_and_gradient_scratch(
 
     // φ2 = smax(2α R (b − Bf)).
     b.residual_into(g, f, &mut scratch.residual);
-    r.apply_into(&scratch.residual, &mut scratch.rows, &mut scratch.op)
+    r.apply_into_par(&scratch.residual, &mut scratch.rows, &mut scratch.op, par)
         .expect("scratch demand matches the approximator");
     // Doubling is exact in IEEE-754, so `y * (2α)` rounds identically to the
     // original `2α · y` evaluation order.
@@ -364,8 +388,13 @@ fn potential_and_gradient_scratch(
     for q in scratch.prices.iter_mut() {
         *q *= 2.0 * alpha;
     }
-    r.apply_transpose_into(&scratch.prices, &mut scratch.potentials, &mut scratch.op)
-        .expect("scratch prices match the approximator rows");
+    r.apply_transpose_into_par(
+        &scratch.prices,
+        &mut scratch.potentials,
+        &mut scratch.op,
+        par,
+    )
+    .expect("scratch prices match the approximator rows");
 
     for (id, e) in g.edges() {
         let g1 = scratch.w1[id.index()] / g.capacity(id);
@@ -511,6 +540,7 @@ mod tests {
                 epsilon: 0.05,
                 alpha: Some(8.0),
                 max_iterations: 3,
+                ..Default::default()
             },
         );
         assert!(result.iterations <= 3);

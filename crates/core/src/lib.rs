@@ -43,6 +43,33 @@
 //! assert!(reverse.value > 0.0);
 //! ```
 //!
+//! To use more cores, opt into a worker pool with
+//! [`MaxFlowConfig::with_parallelism`]: single queries fan the per-tree
+//! operator evaluations of every gradient iteration across the workers, and
+//! [`PreparedMaxFlow::par_max_flow_batch`] additionally fans independent
+//! `(s, t)` queries of a batch across them. Both are pure performance knobs —
+//! results are byte-identical to `threads = 1` for any thread count. When
+//! serving many queries, the batch fan-out is the primary lever (one worker
+//! team per batch); the in-query operator fan-out re-spawns its scoped
+//! workers every iteration and only pays off on large instances:
+//!
+//! ```
+//! use flowgraph::{gen, NodeId};
+//! use maxflow::{MaxFlowConfig, Parallelism, PreparedMaxFlow};
+//!
+//! let g = gen::grid(5, 5, 1.0);
+//! let cfg = MaxFlowConfig::default().with_parallelism(Parallelism::with_threads(4));
+//! let mut session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+//! let pairs = [(NodeId(0), NodeId(24)), (NodeId(4), NodeId(20))];
+//! let results = session.par_max_flow_batch(&pairs).unwrap();
+//! assert_eq!(results.len(), 2);
+//! ```
+//!
+//! The multiplicative-weights ensemble *construction* stays sequential by
+//! design: each tree's edge lengths depend on the loads of all previous
+//! trees, so the build is an inherently sequential fixpoint iteration (it is
+//! also a one-time cost that [`PreparedMaxFlow`] amortizes away).
+//!
 //! The free function [`approx_max_flow`] remains as a thin one-shot wrapper
 //! (it prepares a throwaway session per call and answers byte-identically to
 //! a session with the same seed):
@@ -70,6 +97,7 @@ pub use almost_route::{
 pub use distributed::{
     distributed_approx_max_flow, DistributedMaxFlowResult, RoundBreakdown, SessionBill,
 };
+pub use parallel::Parallelism;
 pub use session::PreparedMaxFlow;
 pub use solver::{
     approx_max_flow, approx_max_flow_with, route_demand, MaxFlowConfig, MaxFlowResult,

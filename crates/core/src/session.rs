@@ -17,6 +17,7 @@
 
 use capprox::{build_tree_ensemble, CongestionApproximator, EnsembleStats};
 use flowgraph::{max_weight_spanning_tree, Demand, Graph, GraphError, NodeId, RootedTree};
+use parallel::Parallelism;
 
 use crate::almost_route::AlmostRouteScratch;
 use crate::distributed::DistributedPlan;
@@ -33,17 +34,33 @@ use crate::solver::{
 /// been used (every query is answered byte-identically to a fresh one-shot
 /// [`crate::approx_max_flow`] call with the same config).
 ///
+/// The prepared structures themselves (graph, approximator, repair tree) are
+/// immutable and `Send + Sync`; only the scratch is per-worker state. That is
+/// what lets [`Self::par_max_flow_batch`] run independent `(s, t)` queries
+/// concurrently — each worker borrows the shared structures and owns one
+/// scratch from the session's pool — while staying byte-identical to the
+/// sequential [`Self::max_flow_batch`].
+///
 /// # Example
 ///
 /// ```
 /// use flowgraph::{gen, NodeId};
-/// use maxflow::{MaxFlowConfig, PreparedMaxFlow};
+/// use maxflow::{MaxFlowConfig, Parallelism, PreparedMaxFlow};
 ///
 /// let g = gen::grid(5, 5, 1.0);
 /// let mut session = PreparedMaxFlow::prepare(&g, &MaxFlowConfig::default()).unwrap();
 /// let a = session.max_flow(NodeId(0), NodeId(24)).unwrap();
 /// let b = session.max_flow(NodeId(4), NodeId(20)).unwrap();
 /// assert!(a.value > 0.0 && b.value > 0.0);
+///
+/// // Opt into parallel execution: 4 workers answer a batch concurrently,
+/// // byte-identical to the sequential batch (and to threads = 1).
+/// let cfg = MaxFlowConfig::default().with_parallelism(Parallelism::with_threads(4));
+/// let mut par_session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+/// let pairs = [(NodeId(0), NodeId(24)), (NodeId(4), NodeId(20))];
+/// let batch = par_session.par_max_flow_batch(&pairs).unwrap();
+/// assert_eq!(batch[0].value.to_bits(), a.value.to_bits());
+/// assert_eq!(batch[1].value.to_bits(), b.value.to_bits());
 /// ```
 #[derive(Debug)]
 pub struct PreparedMaxFlow<'g> {
@@ -53,6 +70,9 @@ pub struct PreparedMaxFlow<'g> {
     ensemble_stats: EnsembleStats,
     repair_tree: RootedTree,
     scratch: AlmostRouteScratch,
+    /// Per-worker scratch buffers for [`Self::par_max_flow_batch`], grown
+    /// lazily to the configured thread count and reused across batches.
+    scratch_pool: Vec<AlmostRouteScratch>,
     pub(crate) plan: Option<DistributedPlan>,
 }
 
@@ -63,9 +83,12 @@ impl<'g> PreparedMaxFlow<'g> {
     ///
     /// # Errors
     ///
-    /// Returns [`GraphError::Empty`] / [`GraphError::NotConnected`] for
-    /// degenerate graphs.
+    /// Returns [`GraphError::InvalidConfig`] for configurations that could
+    /// never produce a meaningful run (see [`MaxFlowConfig::validate`]) and
+    /// [`GraphError::Empty`] / [`GraphError::NotConnected`] for degenerate
+    /// graphs.
     pub fn prepare(graph: &'g Graph, config: &MaxFlowConfig) -> Result<Self, GraphError> {
+        config.validate()?;
         if graph.num_nodes() == 0 {
             return Err(GraphError::Empty);
         }
@@ -84,6 +107,7 @@ impl<'g> PreparedMaxFlow<'g> {
             ensemble_stats,
             repair_tree,
             scratch,
+            scratch_pool: Vec::new(),
             plan: None,
         })
     }
@@ -124,6 +148,86 @@ impl<'g> PreparedMaxFlow<'g> {
             results.push(self.max_flow(s, t)?);
         }
         Ok(results)
+    }
+
+    /// [`Self::max_flow_batch`] with the independent `(s, t)` queries fanned
+    /// across the workers of the session's configured
+    /// [`MaxFlowConfig::parallelism`]: worker `w` answers queries
+    /// `w, w + T, w + 2T, …` against the shared prepared structures using its
+    /// own scratch from the session pool, so no mutable state is shared
+    /// between workers and the results are **byte-identical** to the
+    /// sequential batch (in order) for any thread count.
+    ///
+    /// Query fan-out and operator fan-out do not nest: batch workers run
+    /// their queries with sequential operator evaluations, so the thread
+    /// count is `T`, not `T²`.
+    ///
+    /// # Errors
+    ///
+    /// On invalid pairs, returns the error of the earliest offending pair —
+    /// the same error [`Self::max_flow_batch`] fails fast with (the parallel
+    /// form may have computed later queries before reporting it).
+    pub fn par_max_flow_batch(
+        &mut self,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Result<Vec<MaxFlowResult>, GraphError> {
+        let workers = self.config.parallelism.threads().min(pairs.len().max(1));
+        if workers <= 1 {
+            return self.max_flow_batch(pairs);
+        }
+        let worker_config = self
+            .config
+            .clone()
+            .with_parallelism(Parallelism::sequential());
+        while self.scratch_pool.len() < workers {
+            self.scratch_pool.push(AlmostRouteScratch::for_instance(
+                self.graph,
+                &self.approximator,
+            ));
+        }
+        let graph = self.graph;
+        let approximator = &self.approximator;
+        let repair_tree = &self.repair_tree;
+        let tasks: Vec<&mut AlmostRouteScratch> = self.scratch_pool[..workers].iter_mut().collect();
+        // One worker's stripe of answers, each tagged with its pair index —
+        // or the earliest failing pair index with its error.
+        type WorkerStripe = Result<Vec<(usize, MaxFlowResult)>, (usize, GraphError)>;
+        let partials: Vec<WorkerStripe> = parallel::join_workers(tasks, |w, scratch| {
+            let mut mine = Vec::with_capacity(pairs.len().div_ceil(workers));
+            for (i, &(s, t)) in pairs.iter().enumerate().skip(w).step_by(workers) {
+                match max_flow_engine(
+                    graph,
+                    approximator,
+                    repair_tree,
+                    s,
+                    t,
+                    &worker_config,
+                    scratch,
+                ) {
+                    Ok(result) => mine.push((i, result)),
+                    Err(err) => return Err((i, err)),
+                }
+            }
+            Ok(mine)
+        });
+        // Fail with the earliest pair's error, like the sequential loop.
+        if let Some((_, err)) = partials
+            .iter()
+            .filter_map(|p| p.as_ref().err())
+            .min_by_key(|(i, _)| *i)
+        {
+            return Err(err.clone());
+        }
+        let mut out: Vec<Option<MaxFlowResult>> = (0..pairs.len()).map(|_| None).collect();
+        for partial in partials {
+            for (i, result) in partial.expect("errors handled above") {
+                out[i] = Some(result);
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every query index was answered"))
+            .collect())
     }
 
     /// Routes an arbitrary balanced demand vector with near-optimal
@@ -170,6 +274,11 @@ impl<'g> PreparedMaxFlow<'g> {
         &self.repair_tree
     }
 }
+
+// A session must be shareable across threads for the distributed serving
+// posture (worker pools borrowing one prepared session's structures); pin it
+// at compile time so a future field can't silently revoke it.
+const _: fn() = parallel::assert_send_sync::<PreparedMaxFlow<'static>>;
 
 #[cfg(test)]
 mod tests {
@@ -232,6 +341,85 @@ mod tests {
             let l = loop_session.max_flow(s, t).unwrap();
             assert_eq!(b.value.to_bits(), l.value.to_bits());
             assert_eq!(bits(b.flow.values()), bits(l.flow.values()));
+        }
+    }
+
+    #[test]
+    fn par_batch_equals_sequential_batch_byte_for_byte() {
+        let g = gen::Family::Random.generate(24, 9);
+        let pairs = [
+            (NodeId(0), NodeId(23)),
+            (NodeId(5), NodeId(11)),
+            (NodeId(23), NodeId(0)),
+            (NodeId(2), NodeId(19)),
+            (NodeId(7), NodeId(13)),
+        ];
+        let mut seq_session = PreparedMaxFlow::prepare(&g, &config()).unwrap();
+        let seq = seq_session.max_flow_batch(&pairs).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let cfg = config().with_parallelism(Parallelism::with_threads(threads));
+            let mut session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+            let par = session.par_max_flow_batch(&pairs).unwrap();
+            assert_eq!(par.len(), seq.len());
+            for (p, s) in par.iter().zip(&seq) {
+                assert_eq!(p.value.to_bits(), s.value.to_bits(), "{threads} threads");
+                assert_eq!(bits(p.flow.values()), bits(s.flow.values()));
+                assert_eq!(p.iterations, s.iterations);
+            }
+            // A second batch through the warm pool is also byte-identical.
+            let again = session.par_max_flow_batch(&pairs).unwrap();
+            for (p, s) in again.iter().zip(&seq) {
+                assert_eq!(p.value.to_bits(), s.value.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn par_batch_reports_earliest_pair_error() {
+        let g = gen::grid(4, 4, 1.0);
+        let cfg = config().with_parallelism(Parallelism::with_threads(4));
+        let mut session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+        let pairs = [
+            (NodeId(0), NodeId(15)),
+            (NodeId(3), NodeId(99)), // out of range: the earliest error
+            (NodeId(7), NodeId(7)),  // self loop, later in the batch
+        ];
+        assert!(matches!(
+            session.par_max_flow_batch(&pairs),
+            Err(GraphError::NodeOutOfRange { node: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_at_prepare() {
+        let g = gen::grid(3, 3, 1.0);
+        for (cfg, parameter) in [
+            (config().with_epsilon(0.0), "epsilon"),
+            (config().with_epsilon(-1.0), "epsilon"),
+            (config().with_epsilon(f64::NAN), "epsilon"),
+            (
+                config().with_max_iterations_per_phase(0),
+                "max_iterations_per_phase",
+            ),
+            (config().with_phases(Some(0)), "phases"),
+            (
+                config().with_racke(RackeConfig::default().with_num_trees(0)),
+                "racke.num_trees",
+            ),
+            (config().with_alpha(Some(f64::NAN)), "alpha"),
+            (config().with_alpha(Some(0.0)), "alpha"),
+        ] {
+            match PreparedMaxFlow::prepare(&g, &cfg) {
+                Err(GraphError::InvalidConfig { parameter: p, .. }) => {
+                    assert_eq!(p, parameter);
+                }
+                other => panic!("{parameter}: expected InvalidConfig, got {other:?}"),
+            }
+            // The one-shot wrapper delegates to prepare and rejects too.
+            assert!(matches!(
+                crate::approx_max_flow(&g, NodeId(0), NodeId(8), &cfg),
+                Err(GraphError::InvalidConfig { .. })
+            ));
         }
     }
 

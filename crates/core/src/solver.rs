@@ -12,6 +12,7 @@
 
 use capprox::{CongestionApproximator, RackeConfig};
 use flowgraph::{max_weight_spanning_tree, Demand, FlowVec, Graph, GraphError, NodeId, RootedTree};
+use parallel::Parallelism;
 use serde::{Deserialize, Serialize};
 
 use crate::almost_route::{almost_route_with, AlmostRouteConfig, AlmostRouteScratch};
@@ -31,6 +32,15 @@ pub struct MaxFlowConfig {
     /// Number of `AlmostRoute` phases (Algorithm 1 uses `log m + 1`; `None`
     /// selects exactly that).
     pub phases: Option<usize>,
+    /// Worker pool for the parallel execution paths: per-iteration operator
+    /// evaluations inside a query and query fan-out in
+    /// [`crate::PreparedMaxFlow::par_max_flow_batch`]. Strictly a performance
+    /// knob — every entry point is byte-identical to
+    /// [`Parallelism::sequential`] for any thread count. Machine-specific,
+    /// so never serialized: a deserialized config runs sequentially until
+    /// the deployment opts back in.
+    #[serde(skip, default)]
+    pub parallelism: Parallelism,
 }
 
 impl Default for MaxFlowConfig {
@@ -41,6 +51,7 @@ impl Default for MaxFlowConfig {
             alpha: None,
             max_iterations_per_phase: 5_000,
             phases: None,
+            parallelism: Parallelism::sequential(),
         }
     }
 }
@@ -88,6 +99,58 @@ impl MaxFlowConfig {
     pub fn with_phases(mut self, phases: Option<usize>) -> Self {
         self.phases = phases;
         self
+    }
+
+    /// Replaces the worker pool used by the parallel execution paths.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Rejects configurations that can never produce a meaningful run —
+    /// non-positive or NaN `epsilon`, a zero iteration budget, zero phases,
+    /// an empty tree ensemble, or a non-finite / sub-unit α override — before
+    /// they turn into endless loops or NaN flows deep inside the descent.
+    /// Called by every solver entry point that takes the config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return Err(GraphError::InvalidConfig {
+                parameter: "epsilon",
+                reason: "must be a finite number > 0",
+            });
+        }
+        if self.max_iterations_per_phase == 0 {
+            return Err(GraphError::InvalidConfig {
+                parameter: "max_iterations_per_phase",
+                reason: "must be at least 1",
+            });
+        }
+        if self.phases == Some(0) {
+            return Err(GraphError::InvalidConfig {
+                parameter: "phases",
+                reason: "must be at least 1 (or None for the log m + 1 schedule)",
+            });
+        }
+        if self.racke.num_trees == Some(0) {
+            return Err(GraphError::InvalidConfig {
+                parameter: "racke.num_trees",
+                reason: "must be at least 1 (or None for the O(log n) schedule)",
+            });
+        }
+        if let Some(alpha) = self.alpha {
+            if !alpha.is_finite() || alpha <= 0.0 {
+                return Err(GraphError::InvalidConfig {
+                    parameter: "alpha",
+                    reason: "must be a finite number > 0 (or None for the provable bound)",
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -154,6 +217,7 @@ pub fn route_demand(
     b: &Demand,
     config: &MaxFlowConfig,
 ) -> Result<RoutingResult, GraphError> {
+    config.validate()?;
     if g.num_nodes() == 0 {
         return Err(GraphError::Empty);
     }
@@ -199,6 +263,7 @@ pub(crate) fn route_demand_engine(
         epsilon: config.epsilon.min(0.5),
         alpha: config.alpha,
         max_iterations: config.max_iterations_per_phase,
+        parallelism: config.parallelism,
     };
 
     let mut total = FlowVec::zeros(g.num_edges());
@@ -277,6 +342,7 @@ pub fn approx_max_flow_with(
     t: NodeId,
     config: &MaxFlowConfig,
 ) -> Result<MaxFlowResult, GraphError> {
+    config.validate()?;
     if g.num_nodes() == 0 {
         return Err(GraphError::Empty);
     }
@@ -344,7 +410,7 @@ pub(crate) fn max_flow_engine(
     // ensemble and scaling it to feasibility is another feasible flow; keep
     // whichever is better. This keeps the result sane even if the gradient
     // descent was stopped early by the iteration cap.
-    let tree_congestion = r.congestion_upper_bound(g, &unit);
+    let tree_congestion = r.congestion_upper_bound_par(g, &unit, &config.parallelism);
     if tree_congestion.is_finite() && tree_congestion > 0.0 {
         let tree_value = 1.0 / tree_congestion;
         if tree_value > value {

@@ -142,6 +142,14 @@ impl PartialEq for Graph {
     }
 }
 
+// Shared-graph parallelism (worker pools borrowing one `&Graph`) rests on the
+// lazy CSR cache being a thread-safe `OnceLock`: concurrent first queries
+// race to build, exactly one build wins, everyone sees the same index. Pin
+// the `Send + Sync` consequence at compile time so a future cache field
+// (e.g. a `RefCell`) can't silently revoke it.
+const _: fn() = parallel::assert_send_sync::<Graph>;
+const _: fn() = parallel::assert_send_sync::<Csr>;
+
 impl Graph {
     /// Creates an empty graph with `n` isolated nodes.
     pub fn with_nodes(n: usize) -> Self {
@@ -647,6 +655,37 @@ mod tests {
         assert_eq!(g.capacity(EdgeId(0)), 10.0);
         assert!(g.set_capacity(EdgeId(0), -1.0).is_err());
         assert!(g.set_capacity(EdgeId(9), 1.0).is_err());
+    }
+
+    #[test]
+    fn racing_incident_queries_build_exactly_one_csr() {
+        // Two threads race `Graph::incident` on a freshly mutated graph: the
+        // OnceLock must hand both the *same* lazily built index (pointer
+        // equality), i.e. exactly one build happens.
+        for attempt in 0..32 {
+            let mut g = GraphBuilder::new(64).build().unwrap();
+            for i in 0..63u32 {
+                g.add_edge(NodeId(i), NodeId(i + 1), 1.0 + f64::from(attempt))
+                    .unwrap();
+            }
+            let start = std::sync::Barrier::new(2);
+            let (a, b) = std::thread::scope(|s| {
+                let ha = s.spawn(|| {
+                    start.wait();
+                    let slots = g.incident(NodeId(1));
+                    (g.csr() as *const Csr as usize, slots.len())
+                });
+                let hb = s.spawn(|| {
+                    start.wait();
+                    let slots = g.incident(NodeId(62));
+                    (g.csr() as *const Csr as usize, slots.len())
+                });
+                (ha.join().unwrap(), hb.join().unwrap())
+            });
+            assert_eq!(a.0, b.0, "both threads must see the same CSR build");
+            assert_eq!(a.1, 2);
+            assert_eq!(b.1, 2);
+        }
     }
 
     #[test]

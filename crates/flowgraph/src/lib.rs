@@ -94,6 +94,16 @@ pub enum GraphError {
         /// The dimension that was supplied.
         actual: usize,
     },
+    /// A solver configuration contained a value that can never produce a
+    /// meaningful run (e.g. `epsilon <= 0`, `NaN`, or a zero iteration
+    /// budget). Rejected up front instead of looping forever or emitting NaN
+    /// flows.
+    InvalidConfig {
+        /// The offending configuration parameter.
+        parameter: &'static str,
+        /// Why the value was rejected.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -122,6 +132,9 @@ impl std::fmt::Display for GraphError {
                     f,
                     "vector of length {actual} does not match the expected dimension {expected}"
                 )
+            }
+            GraphError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration: {parameter} {reason}")
             }
         }
     }

@@ -1,0 +1,547 @@
+//! Vendored mini-rayon: a scoped work-sharing pool with a determinism
+//! contract.
+//!
+//! This build environment has no registry access, so the workspace carries
+//! its own minimal data-parallelism layer instead of depending on `rayon`.
+//! The design goals, in order:
+//!
+//! 1. **Determinism.** Every combinator places results by *item index* and
+//!    every reduction folds in *fixed input order*, so the output of a
+//!    parallel call is byte-identical to its sequential counterpart for any
+//!    thread count — including bitwise-identical floating point, because the
+//!    per-item computation and the combination order never change. Only
+//!    scheduling (which worker computes which item when) varies.
+//! 2. **Safety.** The whole crate is `forbid(unsafe_code)`; work distribution
+//!    uses an atomic cursor over `Mutex<Option<T>>` task slots and
+//!    [`std::thread::scope`] for borrowing, never raw pointers.
+//! 3. **Graceful sequential fallback.** At [`Parallelism::sequential`]
+//!    (`threads == 1`) every combinator degenerates to a plain loop on the
+//!    calling thread: no threads are spawned, no slots are allocated, and
+//!    allocation-free callers stay allocation-free.
+//!
+//! The pool is *scoped*: worker threads live only for the duration of one
+//! combinator call (there is no global pool to configure or leak). For
+//! long-lived worker teams that synchronize among themselves — e.g. the
+//! sharded CONGEST round loop, where shard workers exchange messages every
+//! round — use [`join_workers`], which spawns exactly one thread per task and
+//! runs them concurrently for their entire lifetime (with [`TeamBarrier`] as
+//! the poison-safe round synchronizer).
+//!
+//! Where each combinator is used in this workspace: `capprox`'s operator
+//! evaluations fan per-tree tasks through [`Parallelism::for_each_owned`] and
+//! reduce tree routings with [`Parallelism::par_map_reduce`]; `maxflow`'s
+//! `par_max_flow_batch` and the sharded CONGEST engine build worker teams
+//! with [`join_workers`], partitioning arenas along uneven shard boundaries
+//! with [`split_at_boundaries`]. [`Parallelism::par_chunks_mut`] is the
+//! equal-size-chunk counterpart of that partitioning for callers whose data
+//! has no precomputed boundaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Compile-time `Send + Sync` assertion helper: instantiate it for a type in
+/// a `const` to pin the type's thread-shareability, so a future field (a
+/// `RefCell`, a raw pointer) can't silently revoke what the parallel layers
+/// rely on:
+///
+/// ```
+/// struct SharedAcrossWorkers(Vec<f64>);
+/// const _: fn() = parallel::assert_send_sync::<SharedAcrossWorkers>;
+/// ```
+pub fn assert_send_sync<T: Send + Sync>() {}
+
+/// Degree of parallelism for the workspace's parallel entry points.
+///
+/// A plain, copyable thread-count wrapper: `threads == 1` means "run
+/// sequentially on the calling thread" (guaranteed no spawning), `threads > 1`
+/// means "share work across this many workers, counting the calling thread".
+/// The determinism contract (results byte-identical to `threads == 1`) holds
+/// for every value; the thread count is a *performance* knob, never a
+/// *semantics* knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    threads: NonZeroUsize,
+}
+
+impl Default for Parallelism {
+    /// Defaults to sequential execution: parallelism is strictly opt-in so
+    /// that existing single-threaded callers (and their zero-allocation
+    /// guarantees) are unaffected.
+    fn default() -> Self {
+        Parallelism::sequential()
+    }
+}
+
+impl Parallelism {
+    /// Sequential execution on the calling thread (`threads == 1`).
+    pub fn sequential() -> Self {
+        Parallelism {
+            threads: NonZeroUsize::MIN,
+        }
+    }
+
+    /// Execution on `n` workers; `n == 0` is clamped to 1 (sequential).
+    pub fn with_threads(n: usize) -> Self {
+        Parallelism {
+            threads: NonZeroUsize::new(n).unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// One worker per hardware thread reported by the OS
+    /// ([`std::thread::available_parallelism`]), falling back to sequential
+    /// when the count is unavailable.
+    pub fn available() -> Self {
+        Parallelism {
+            threads: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// The configured worker count (including the calling thread).
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// `true` when the configuration runs on the calling thread only.
+    #[inline]
+    pub fn is_sequential(&self) -> bool {
+        self.threads.get() == 1
+    }
+
+    /// Consumes `tasks`, invoking `f(index, task)` once per task, sharing the
+    /// tasks across the configured workers. Tasks are claimed dynamically (an
+    /// atomic cursor), so the assignment of tasks to workers is
+    /// scheduling-dependent — `f` must not rely on it. Item order as observed
+    /// by any single worker is ascending in index.
+    pub fn for_each_owned<T, F>(&self, tasks: Vec<T>, f: F)
+    where
+        T: Send,
+        F: Fn(usize, T) + Sync,
+    {
+        let workers = self.threads().min(tasks.len());
+        if workers <= 1 {
+            for (i, t) in tasks.into_iter().enumerate() {
+                f(i, t);
+            }
+            return;
+        }
+        let slots: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let cursor = AtomicUsize::new(0);
+        let work = || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(slot) = slots.get(i) else { break };
+            let task = slot
+                .lock()
+                .expect("task slot poisoned")
+                .take()
+                .expect("each slot is claimed exactly once");
+            f(i, task);
+        };
+        std::thread::scope(|s| {
+            for _ in 1..workers {
+                s.spawn(work);
+            }
+            work();
+        });
+    }
+
+    /// Maps `f` over `items` in parallel, returning the results **in item
+    /// order** regardless of scheduling.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        if self.is_sequential() || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let out: Vec<Mutex<Option<U>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+        let indices: Vec<usize> = (0..items.len()).collect();
+        self.for_each_owned(indices, |_, i| {
+            *out[i].lock().expect("result slot poisoned") = Some(f(i, &items[i]));
+        });
+        out.into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index was mapped")
+            })
+            .collect()
+    }
+
+    /// Maps `f` over `items` in parallel and folds the results **in item
+    /// order** on the calling thread: `fold(fold(init, r_0), r_1) …`. The
+    /// deterministic fixed-order reduction — for non-associative operations
+    /// (floating-point sums!) the result is bitwise identical to the
+    /// sequential map-then-fold for any thread count.
+    pub fn par_map_reduce<T, U, A, F, R>(&self, items: &[T], map: F, init: A, fold: R) -> A
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+        R: FnMut(A, U) -> A,
+    {
+        if self.is_sequential() || items.len() <= 1 {
+            // Fold directly — no intermediate Vec on the sequential path.
+            return items
+                .iter()
+                .enumerate()
+                .map(|(i, t)| map(i, t))
+                .fold(init, fold);
+        }
+        self.par_map(items, map).into_iter().fold(init, fold)
+    }
+
+    /// Splits `data` into contiguous chunks of `chunk_size` (the final chunk
+    /// may be shorter) and invokes `f(chunk_index, chunk)` on each, sharing
+    /// chunks across the configured workers. Chunks are disjoint `&mut`
+    /// ranges, so `f` may freely mutate its chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_size: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        if self.is_sequential() || data.len() <= chunk_size {
+            for (i, chunk) in data.chunks_mut(chunk_size).enumerate() {
+                f(i, chunk);
+            }
+            return;
+        }
+        let chunks: Vec<&mut [T]> = data.chunks_mut(chunk_size).collect();
+        self.for_each_owned(chunks, &f);
+    }
+}
+
+/// Runs one dedicated thread per task, concurrently, and returns the results
+/// in task order. Unlike [`Parallelism::for_each_owned`] this guarantees that
+/// *all* tasks execute at the same time, which is what worker teams that
+/// synchronize among themselves (barriers, shared staging buffers — e.g. the
+/// sharded CONGEST engine) require: with a work-sharing pool, a task that
+/// blocks on a barrier would deadlock the workers that still hold unstarted
+/// peer tasks.
+///
+/// A single task runs inline on the calling thread without spawning.
+pub fn join_workers<T, R, F>(tasks: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    if tasks.len() <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let mut rest = tasks.into_iter();
+        let first = rest.next().expect("len checked above");
+        let handles: Vec<_> = rest
+            .enumerate()
+            .map(|(offset, task)| s.spawn(move || f(offset + 1, task)))
+            .collect();
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(f(0, first));
+        for h in handles {
+            // Propagate a worker's panic with its original payload rather
+            // than a generic join error.
+            out.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+        }
+        out
+    })
+}
+
+/// A reusable barrier for [`join_workers`] teams that supports **poisoning**:
+/// when one worker dies (panics), it calls [`TeamBarrier::poison`] and every
+/// peer that is waiting — or ever waits again — panics out of its wait
+/// instead of blocking forever on a participant that will never arrive.
+/// [`std::sync::Barrier`] has no such escape hatch, which would turn any
+/// worker panic into a team-wide deadlock.
+#[derive(Debug)]
+pub struct TeamBarrier {
+    parties: usize,
+    state: Mutex<BarrierState>,
+    cvar: std::sync::Condvar,
+}
+
+#[derive(Debug)]
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl TeamBarrier {
+    /// A barrier for a team of `parties` workers.
+    pub fn new(parties: usize) -> Self {
+        TeamBarrier {
+            parties: parties.max(1),
+            state: Mutex::new(BarrierState {
+                waiting: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cvar: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until all `parties` workers have called `wait` (then the
+    /// barrier resets for the next use, like [`std::sync::Barrier`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the barrier is or becomes [poisoned](Self::poison) — inside
+    /// a worker wrapped in `catch_unwind`, that unwinds the worker out of
+    /// its loop instead of deadlocking the team.
+    pub fn wait(&self) {
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        assert!(!s.poisoned, "worker team poisoned by a peer panic");
+        let generation = s.generation;
+        s.waiting += 1;
+        if s.waiting == self.parties {
+            s.waiting = 0;
+            s.generation += 1;
+            self.cvar.notify_all();
+            return;
+        }
+        loop {
+            s = self
+                .cvar
+                .wait(s)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            // Generation first: a waiter whose barrier already completed was
+            // legitimately released and must finish its round normally, even
+            // if a peer poisoned the barrier right after releasing it —
+            // otherwise work the team already agreed on (and that the caller
+            // will inspect, e.g. a recorded model violation) is lost.
+            if s.generation != generation {
+                return;
+            }
+            assert!(!s.poisoned, "worker team poisoned by a peer panic");
+        }
+    }
+
+    /// Marks the barrier poisoned and wakes every waiter; all current and
+    /// future [`TeamBarrier::wait`] calls panic. Call this from a worker's
+    /// panic handler *after* recording the panic payload, so peers observing
+    /// the poison are guaranteed to find the root cause recorded.
+    pub fn poison(&self) {
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        s.poisoned = true;
+        self.cvar.notify_all();
+    }
+}
+
+/// Splits `data` into `parts` contiguous chunks at the given boundary
+/// offsets (`boundaries` lists the *end* offset of every chunk except that a
+/// final implicit boundary at `data.len()` is NOT assumed — the last listed
+/// boundary must equal `data.len()`). Used to partition arenas along
+/// pre-computed shard ranges where equal-size chunking does not apply.
+///
+/// # Panics
+///
+/// Panics if the boundaries are not non-decreasing or the last boundary is
+/// not `data.len()`.
+pub fn split_at_boundaries<'a, T>(mut data: &'a mut [T], boundaries: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(boundaries.len());
+    let mut consumed = 0usize;
+    for &end in boundaries {
+        assert!(end >= consumed, "boundaries must be non-decreasing");
+        let (chunk, rest) = data.split_at_mut(end - consumed);
+        out.push(chunk);
+        data = rest;
+        consumed = end;
+    }
+    assert!(
+        data.is_empty(),
+        "the final boundary must cover the whole slice"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn default_is_sequential_and_with_threads_clamps() {
+        assert!(Parallelism::default().is_sequential());
+        assert_eq!(Parallelism::with_threads(0).threads(), 1);
+        assert_eq!(Parallelism::with_threads(4).threads(), 4);
+        assert!(Parallelism::available().threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let par = Parallelism::with_threads(threads);
+            let got = par.par_map(&items, |_, &x| x * x + 1);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_is_bitwise_deterministic() {
+        // A floating-point sum whose value depends on association order: the
+        // fixed-order reduction must reproduce the sequential bits exactly.
+        let items: Vec<f64> = (0..1000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let sequential = items.iter().fold(0.0f64, |acc, &x| acc + x.sin());
+        for threads in [2, 4, 8] {
+            let par = Parallelism::with_threads(threads);
+            let parallel = par.par_map_reduce(&items, |_, &x| x.sin(), 0.0f64, |acc, x| acc + x);
+            assert_eq!(
+                sequential.to_bits(),
+                parallel.to_bits(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_exactly_once() {
+        for threads in [1, 3, 8] {
+            let par = Parallelism::with_threads(threads);
+            let mut data = vec![0u32; 1001];
+            par.par_chunks_mut(&mut data, 64, |chunk_index, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x += (chunk_index * 64 + j) as u32;
+                }
+            });
+            for (i, &x) in data.iter().enumerate() {
+                assert_eq!(x, i as u32, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_owned_consumes_each_task_once() {
+        let counter = AtomicU64::new(0);
+        let tasks: Vec<u64> = (0..100).collect();
+        Parallelism::with_threads(4).for_each_owned(tasks, |i, t| {
+            assert_eq!(i as u64, t);
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn join_workers_runs_all_tasks_concurrently() {
+        // Tasks synchronize on a barrier: this only completes if all of them
+        // run at the same time (a work-sharing pool would deadlock here).
+        let barrier = std::sync::Barrier::new(4);
+        let results = join_workers(vec![10, 20, 30, 40], |i, t| {
+            barrier.wait();
+            (i, t)
+        });
+        assert_eq!(results, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+    }
+
+    #[test]
+    fn split_at_boundaries_partitions_exactly() {
+        let mut data: Vec<u8> = (0..10).collect();
+        let parts = split_at_boundaries(&mut data, &[3, 3, 7, 10]);
+        let lens: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(lens, vec![3, 0, 4, 3]);
+        assert_eq!(parts[2][0], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "final boundary")]
+    fn split_at_boundaries_rejects_short_cover() {
+        let mut data = [0u8; 5];
+        let _ = split_at_boundaries(&mut data, &[2]);
+    }
+
+    #[test]
+    fn team_barrier_synchronizes_rounds() {
+        let barrier = TeamBarrier::new(3);
+        let hits = AtomicU64::new(0);
+        let results = join_workers(vec![0u64; 3], |_, _| {
+            for round in 0..5u64 {
+                hits.fetch_add(1, Ordering::SeqCst);
+                barrier.wait();
+                // After the barrier, every worker of this round has hit.
+                assert!(hits.load(Ordering::SeqCst) >= 3 * (round + 1));
+                barrier.wait();
+            }
+            true
+        });
+        assert_eq!(results, vec![true; 3]);
+        assert_eq!(hits.load(Ordering::SeqCst), 15);
+    }
+
+    #[test]
+    fn team_barrier_poison_releases_waiters() {
+        // Worker 0 dies before its barrier; the waiting peers must panic out
+        // of `wait` (caught by catch_unwind) instead of blocking forever.
+        let barrier = TeamBarrier::new(3);
+        let results = join_workers(vec![0usize, 1, 2], |i, _| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if i == 0 {
+                    barrier.poison();
+                    panic!("worker 0 died");
+                }
+                barrier.wait();
+            }))
+            .is_err()
+        });
+        // Worker 0 panicked by construction; the peers unwound out of wait.
+        assert!(results[0]);
+        assert!(results[1] && results[2]);
+    }
+
+    #[test]
+    fn join_workers_propagates_the_original_panic_payload() {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            join_workers(vec![0u8, 1], |i, _| {
+                if i == 1 {
+                    panic!("original worker panic");
+                }
+            });
+        }));
+        let payload = caught.expect_err("worker panic must propagate");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(message.contains("original worker panic"), "got: {message}");
+    }
+
+    #[test]
+    fn sequential_paths_spawn_nothing_and_match() {
+        let par = Parallelism::sequential();
+        let items = [1.0f64, 2.0, 3.0];
+        assert_eq!(
+            par.par_map(&items, |i, x| x * i as f64),
+            vec![0.0, 2.0, 6.0]
+        );
+        let mut data = [1u8, 2, 3];
+        par.par_chunks_mut(&mut data, 2, |_, c| {
+            for x in c.iter_mut() {
+                *x *= 2;
+            }
+        });
+        assert_eq!(data, [2, 4, 6]);
+    }
+}

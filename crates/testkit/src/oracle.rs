@@ -57,6 +57,7 @@ impl OracleConfig {
             alpha: None,
             max_iterations_per_phase: self.max_iterations_per_phase,
             phases: Some(self.phases),
+            ..Default::default()
         }
     }
 

@@ -105,6 +105,7 @@ struct Report {
     max_ns: u128,
     samples: usize,
     throughput: Option<Throughput>,
+    threads: Option<usize>,
 }
 
 impl Report {
@@ -124,12 +125,29 @@ impl Report {
             format!("  {per_sec:.1} {label}/s"),
         )
     }
+
+    /// `(json_fields, human_suffix)` for the configured thread count. The
+    /// JSON additionally records `host_cpus` — the hardware parallelism of
+    /// the recording machine — so downstream gates can tell a genuine
+    /// scaling measurement from one taken on a box with fewer cores than
+    /// the benchmark's thread count.
+    fn threads_rendering(&self) -> (String, String) {
+        let Some(threads) = self.threads else {
+            return (String::new(), String::new());
+        };
+        let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (
+            format!(",\"threads\":{threads},\"host_cpus\":{host_cpus}"),
+            format!("  [{threads} threads]"),
+        )
+    }
 }
 
 fn emit(report: &Report) {
     let (json_throughput, human_throughput) = report.throughput_rendering();
+    let (json_threads, human_threads) = report.threads_rendering();
     println!(
-        "bench {group}/{id:<40} min {min} ns  mean {mean} ns  max {max} ns  ({n} samples){tp}",
+        "bench {group}/{id:<40} min {min} ns  mean {mean} ns  max {max} ns  ({n} samples){tp}{th}",
         group = report.group,
         id = report.id,
         min = report.min_ns,
@@ -137,6 +155,7 @@ fn emit(report: &Report) {
         max = report.max_ns,
         n = report.samples,
         tp = human_throughput,
+        th = human_threads,
     );
     if let Some(path) = std::env::var_os("BENCH_JSON") {
         if let Ok(mut f) = std::fs::OpenOptions::new()
@@ -146,9 +165,9 @@ fn emit(report: &Report) {
         {
             let _ = writeln!(
                 f,
-                "{{\"group\":\"{}\",\"id\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{}{}}}",
+                "{{\"group\":\"{}\",\"id\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{}{}{}}}",
                 report.group, report.id, report.min_ns, report.mean_ns, report.max_ns, report.samples,
-                json_throughput,
+                json_throughput, json_threads,
             );
         }
     }
@@ -159,6 +178,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    threads: Option<usize>,
     _criterion: &'a mut Criterion,
 }
 
@@ -173,6 +193,15 @@ impl BenchmarkGroup<'_> {
     /// follow; reports gain a derived throughput rate.
     pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
         self.throughput = Some(throughput);
+        self
+    }
+
+    /// Declares the worker-thread count the benchmarks that follow run with
+    /// (a local extension for the parallel-scaling benches, not part of the
+    /// real criterion API): reports gain `threads` and `host_cpus` fields in
+    /// `BENCH_JSON` so scaling gates can compare like with like.
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -235,6 +264,7 @@ impl BenchmarkGroup<'_> {
             max_ns: *bencher.samples_ns.iter().max().expect("non-empty"),
             samples: n,
             throughput: self.throughput,
+            threads: self.threads,
         });
     }
 }
@@ -250,6 +280,7 @@ impl Criterion {
             name: name.into(),
             sample_size: 10,
             throughput: None,
+            threads: None,
             _criterion: self,
         }
     }

@@ -24,6 +24,7 @@ fn main() {
         alpha: None,
         max_iterations_per_phase: 2_000,
         phases: Some(2),
+        ..Default::default()
     };
 
     println!(

@@ -30,6 +30,7 @@ proptest! {
             alpha: None,
             max_iterations_per_phase: 1_500,
             phases: Some(2),
+            ..Default::default()
         };
         let result = maxflow::approx_max_flow(&g, s, t, &config).unwrap();
         // Feasible…

@@ -53,6 +53,7 @@ fn per_iteration_rounds_scale_with_sqrt_n_on_expanders() {
             alpha: None,
             max_iterations_per_phase: 5,
             phases: Some(1),
+            ..Default::default()
         };
         let dist = maxflow::distributed_approx_max_flow(&g, s, t, &cfg).unwrap();
         per_iter.push(dist.rounds.per_iteration.rounds as f64);

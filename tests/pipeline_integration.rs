@@ -16,6 +16,7 @@ fn config(eps: f64, seed: u64) -> MaxFlowConfig {
         alpha: None,
         max_iterations_per_phase: 4_000,
         phases: Some(3),
+        ..Default::default()
     }
 }
 
