@@ -55,7 +55,9 @@ fn query_mix(g: &Graph, seed: u64) -> Vec<(NodeId, NodeId)> {
 fn bench_parallel_scaling(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
         let mut group = c.benchmark_group("parallel_scaling");
-        group.sample_size(2);
+        // >= 3 samples so the CI overhead gate is not judged on two noisy
+        // measurements (raise further with BENCH_SAMPLES when recording).
+        group.sample_size(3);
         group.throughput(Throughput::Elements(QUERIES as u64));
         group.threads(threads);
         let config = serving_config().with_parallelism(Parallelism::with_threads(threads));

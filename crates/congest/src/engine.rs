@@ -72,6 +72,16 @@ pub trait MessageSize {
     fn words(&self) -> u64 {
         1
     }
+
+    /// Whether this message is a *retransmission* — a repeat send of a
+    /// payload whose earlier frame was dropped or not yet acknowledged. The
+    /// engines bill such sends to [`RoundCost::retransmissions`] on top of
+    /// the ordinary message count. Plain protocol messages never are (the
+    /// default); only adapter frames like
+    /// [`crate::reliable::Frame`] override this.
+    fn is_retransmission(&self) -> bool {
+        false
+    }
 }
 
 /// What a node knows locally at the start of an algorithm (paper §1.1:
@@ -198,6 +208,12 @@ impl Network {
         self.flip.len()
     }
 
+    /// The mirrored slot of `slot` at the other endpoint of its edge (used
+    /// by the model executors in [`crate::model`]).
+    pub(crate) fn flip_slot(&self, slot: usize) -> usize {
+        self.flip[slot] as usize
+    }
+
     /// The local view of node `v` (borrowed CSR slices; no allocation).
     pub fn view(&self, v: NodeId) -> LocalView<'_> {
         let range = self.graph.csr().slot_range(v);
@@ -225,7 +241,28 @@ pub struct Outbox<'a, M> {
     violation: &'a mut Option<SimulationError>,
 }
 
-impl<M> Outbox<'_, M> {
+impl<'a, M> Outbox<'a, M> {
+    /// Assembles an outbox over caller-owned slots (used by the model
+    /// executors in [`crate::model`] and the retransmit adapter in
+    /// [`crate::reliable`]).
+    pub(crate) fn from_parts(
+        node: NodeId,
+        incident: &'a [(EdgeId, NodeId)],
+        slots: &'a mut [Option<M>],
+        base: u32,
+        dirty: &'a mut Vec<u32>,
+        violation: &'a mut Option<SimulationError>,
+    ) -> Self {
+        Outbox {
+            node,
+            incident,
+            slots,
+            base,
+            dirty,
+            violation,
+        }
+    }
+
     /// Queues `msg` over `edge`. Records [`SimulationError::NotIncident`] if
     /// the edge is not incident to this node and
     /// [`SimulationError::DuplicateSend`] if a message was already queued on
@@ -291,6 +328,13 @@ pub struct Inbox<'a, M> {
 }
 
 impl<'a, M> Inbox<'a, M> {
+    /// Assembles an inbox view over caller-owned slots (used by the model
+    /// executors in [`crate::model`] and the retransmit adapter in
+    /// [`crate::reliable`], which present payloads through buffers they own).
+    pub(crate) fn from_parts(incident: &'a [(EdgeId, NodeId)], slots: &'a [Option<M>]) -> Self {
+        Inbox { incident, slots }
+    }
+
     /// Iterates over the delivered `(arrival edge, message)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (EdgeId, &'a M)> + '_ {
         self.incident
@@ -350,6 +394,38 @@ pub trait Protocol {
     fn output(&self, view: &LocalView<'_>, state: Self::State) -> Self::Output;
 }
 
+/// Protocols execute through `&self`, so a shared reference is itself a
+/// protocol. This is what lets adapters like [`crate::reliable::Reliable`]
+/// wrap a borrowed protocol without cloning it.
+impl<P: Protocol + ?Sized> Protocol for &P {
+    type Msg = P::Msg;
+    type State = P::State;
+    type Output = P::Output;
+
+    fn init(&self, view: &LocalView<'_>, outbox: &mut Outbox<'_, Self::Msg>) -> Self::State {
+        (**self).init(view, outbox)
+    }
+
+    fn round(
+        &self,
+        view: &LocalView<'_>,
+        state: &mut Self::State,
+        inbox: &Inbox<'_, Self::Msg>,
+        outbox: &mut Outbox<'_, Self::Msg>,
+        round: u64,
+    ) {
+        (**self).round(view, state, inbox, outbox, round);
+    }
+
+    fn is_terminated(&self, state: &Self::State) -> bool {
+        (**self).is_terminated(state)
+    }
+
+    fn output(&self, view: &LocalView<'_>, state: Self::State) -> Self::Output {
+        (**self).output(view, state)
+    }
+}
+
 /// Result of executing a protocol.
 #[derive(Debug, Clone)]
 pub struct RunResult<T> {
@@ -401,6 +477,27 @@ pub enum SimulationError {
         /// The configured cap.
         max_rounds: u64,
     },
+    /// Under the Congested Clique model a node queued two messages for the
+    /// same peer in one round (over parallel edges of the multigraph). The
+    /// clique fabric carries at most one `O(log n)`-bit word per *ordered
+    /// node pair* per round — parallel edges do not widen the pair's link
+    /// like they do in per-edge CONGEST.
+    CliquePairOverflow {
+        /// The sending node.
+        node: NodeId,
+        /// The peer that would have received two messages.
+        peer: NodeId,
+    },
+    /// The protocol was executed on a communication model that cannot carry
+    /// it (e.g. an edge-addressed protocol on `BCAST(log n)`, whose nodes
+    /// emit one shared broadcast word per round instead of per-edge
+    /// messages).
+    UnsupportedModel {
+        /// The model that rejected the protocol.
+        model: &'static str,
+        /// Why the protocol cannot run there.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimulationError {
@@ -420,6 +517,16 @@ impl std::fmt::Display for SimulationError {
             }
             SimulationError::RoundLimitExceeded { max_rounds } => {
                 write!(f, "protocol did not terminate within {max_rounds} rounds")
+            }
+            SimulationError::CliquePairOverflow { node, peer } => {
+                write!(
+                    f,
+                    "node {node} queued two messages for peer {peer} in one round; the \
+                     congested clique carries one word per ordered pair per round"
+                )
+            }
+            SimulationError::UnsupportedModel { model, reason } => {
+                write!(f, "protocol cannot run on the {model} model: {reason}")
             }
         }
     }
@@ -453,6 +560,11 @@ impl Simulator {
     pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
         self.max_rounds = max_rounds;
         self
+    }
+
+    /// The configured round cap.
+    pub fn max_rounds(&self) -> u64 {
+        self.max_rounds
     }
 
     /// Runs `protocol` on `network` until quiescence (no messages in flight
@@ -544,6 +656,7 @@ impl Simulator {
             for &s in &send_dirty {
                 let msg = send[s as usize].take().expect("dirty slot holds a message");
                 cost.messages += 1;
+                cost.retransmissions += u64::from(msg.is_retransmission());
                 cost.max_message_words = cost.max_message_words.max(msg.words());
                 if let Some(tr) = trace.as_deref_mut() {
                     let (edge, receiver) = csr.slot(s as usize);
@@ -889,6 +1002,7 @@ impl Simulator {
                             .take()
                             .expect("dirty slot holds a message");
                         cost.messages += 1;
+                        cost.retransmissions += u64::from(msg.is_retransmission());
                         cost.max_message_words = cost.max_message_words.max(msg.words());
                         if traced {
                             let (edge, receiver) = csr.slot(s as usize);
@@ -1032,6 +1146,7 @@ impl Simulator {
         for outcome in outcomes {
             debug_assert_eq!(outcome.cost.rounds, cost.rounds, "shards agree on rounds");
             cost.messages += outcome.cost.messages;
+            cost.retransmissions += outcome.cost.retransmissions;
             cost.max_message_words = cost.max_message_words.max(outcome.cost.max_message_words);
             if let Some(tr) = transcript.as_mut() {
                 tr.extend(outcome.trace);
@@ -1180,6 +1295,7 @@ fn reference_run_impl<P: Protocol>(
             for (i, slot) in send[v.index()].iter_mut().enumerate() {
                 if let Some(msg) = slot.take() {
                     cost.messages += 1;
+                    cost.retransmissions += u64::from(msg.is_retransmission());
                     cost.max_message_words = cost.max_message_words.max(msg.words());
                     let (edge, receiver) = csr.slot(base + i);
                     if let Some(tr) = trace.as_deref_mut() {

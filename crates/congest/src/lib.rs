@@ -19,7 +19,12 @@
 //!   a (possibly deep) spanning tree in `Õ(√n + D)` rounds via the random
 //!   edge-sampling decomposition of Lemma 8.2 / Lemma 9.1;
 //! * [`cost`] — composable round/message cost records used by the
-//!   round-accounted execution of the full pipeline.
+//!   round-accounted execution of the full pipeline;
+//! * [`model`] — pluggable communication models on top of the same engine:
+//!   classic per-edge CONGEST, lossy/faulty CONGEST under a seeded
+//!   [`Adversary`], the Congested Clique and `BCAST(log n)`;
+//! * [`reliable`] — the retransmit-with-ack adapter that runs unchanged
+//!   protocols over the lossy model.
 //!
 //! # Example: distributed BFS tree
 //!
@@ -44,7 +49,9 @@
 pub mod cluster;
 pub mod cost;
 pub mod engine;
+pub mod model;
 pub mod primitives;
+pub mod reliable;
 pub mod treeops;
 
 pub use cost::RoundCost;
@@ -54,4 +61,6 @@ pub use engine::{
     DeliveryEvent, Inbox, LocalView, MessageSize, Network, Outbox, Protocol, RunResult, Simulator,
     Transcript,
 };
+pub use model::{Adversary, BcastInbox, BcastProtocol, CommModel, FaultEvent, FaultLog};
 pub use parallel::Parallelism;
+pub use reliable::Reliable;

@@ -1,0 +1,306 @@
+//! Retransmit-with-ack adapter: run an unchanged CONGEST protocol over
+//! lossy channels.
+//!
+//! [`Reliable`] wraps any [`Protocol`] in a per-link stop-and-wait ARQ:
+//! every payload the inner protocol emits is framed with a sequence number,
+//! resent until the peer acknowledges it, delivered to the peer's inner
+//! protocol exactly once and in order, and acknowledged cumulatively
+//! (piggybacked on data frames where possible). The inner protocol observes
+//! a legal CONGEST execution — at most one payload per incident edge per
+//! round, every payload delivered exactly once — just on a slower clock, so
+//! protocols whose *results* do not depend on the round counter (all the
+//! library protocols: BFS flooding, broadcasts, convergecasts, the Lemma 8.2
+//! forest aggregations) run unchanged under the lossy model of
+//! [`crate::model`].
+//!
+//! Resent frames flag themselves via [`MessageSize::is_retransmission`], so
+//! the engines bill the recovery traffic to
+//! [`crate::RoundCost::retransmissions`] while honest first sends stay in
+//! the plain message count. On a loss-free channel the
+//! [`RETRANSMIT_AFTER`]-round timer never fires: wrapping a protocol costs
+//! framing words but produces zero retransmissions.
+//!
+//! The adapter assumes FIFO links (no reordering within one edge
+//! direction), which is exactly what the lossy engine provides; drops and
+//! delays are recovered, duplicates are filtered by sequence number, and
+//! lost acks are healed by re-acking duplicate data. A crash-stopped peer is
+//! *not* recovered — its neighbors retransmit into the void until the round
+//! cap trips, which is the honest CONGEST outcome absent a failure detector.
+
+use std::collections::VecDeque;
+
+use crate::engine::{Inbox, LocalView, MessageSize, Outbox, Protocol, SimulationError};
+
+/// Rounds a payload stays unacknowledged before it is resent. Three rounds
+/// cover the loss-free round trip (frame out in round `r`, delivered in
+/// `r + 1`, ack back in `r + 2`), so reliable links see no spurious resends.
+pub const RETRANSMIT_AFTER: u64 = 3;
+
+/// Wraps an inner [`Protocol`] in the per-link stop-and-wait ARQ described
+/// in the [module docs](self). The wrapper's outputs are the inner
+/// protocol's outputs.
+#[derive(Debug, Clone)]
+pub struct Reliable<P> {
+    inner: P,
+}
+
+impl<P> Reliable<P> {
+    /// Wraps `inner` (use `Reliable::new(&protocol)` to borrow — a shared
+    /// reference to a protocol is itself a protocol).
+    pub fn new(inner: P) -> Self {
+        Reliable { inner }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+/// One link frame of the ARQ: an optional payload with its sequence number,
+/// an optional cumulative acknowledgement of the reverse direction, and the
+/// retransmission flag the engines bill by.
+#[derive(Debug, Clone)]
+pub struct Frame<M> {
+    seq: u32,
+    data: Option<M>,
+    ack: Option<u32>,
+    resend: bool,
+}
+
+impl<M: MessageSize> MessageSize for Frame<M> {
+    fn words(&self) -> u64 {
+        // One control word (sequence number, ack and flags all fit in
+        // O(log n) bits) on top of the payload.
+        1 + self.data.as_ref().map_or(0, MessageSize::words)
+    }
+
+    fn is_retransmission(&self) -> bool {
+        self.resend
+    }
+}
+
+/// ARQ state of one directed link (one local incident-edge slot).
+#[derive(Debug)]
+struct LinkState<M> {
+    /// Payloads the inner protocol queued but that are not yet in flight.
+    queue: VecDeque<M>,
+    /// The unacknowledged in-flight payload, if any (stop-and-wait).
+    inflight: Option<(u32, M)>,
+    /// Engine round the in-flight frame was last put on the wire (`None`:
+    /// never sent yet).
+    last_sent: Option<u64>,
+    /// Sequence number the next fresh payload will carry.
+    seq_next: u32,
+    /// Sequence number expected from the peer next (everything below was
+    /// delivered to the inner protocol already).
+    expected: u32,
+    /// Cumulative ack owed to the peer.
+    ack_due: Option<u32>,
+}
+
+impl<M> LinkState<M> {
+    fn new() -> Self {
+        LinkState {
+            queue: VecDeque::new(),
+            inflight: None,
+            last_sent: None,
+            seq_next: 0,
+            expected: 0,
+            ack_due: None,
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.inflight.is_none() && self.ack_due.is_none()
+    }
+}
+
+/// Per-node state of [`Reliable`]: the inner state plus one ARQ link state
+/// per incident edge and the scratch buffers the inner protocol's inbox and
+/// outbox views are assembled over.
+#[derive(Debug)]
+pub struct ReliableState<S, M> {
+    inner: S,
+    links: Vec<LinkState<M>>,
+    /// Payloads accepted this round, presented to the inner inbox.
+    in_scratch: Vec<Option<M>>,
+    /// The inner protocol's outbox slots for the current round.
+    out_scratch: Vec<Option<M>>,
+    dirty_scratch: Vec<u32>,
+}
+
+impl<P: Protocol> Reliable<P> {
+    /// Drains the inner protocol's freshly queued payloads into the link
+    /// queues and surfaces any model violation the inner protocol committed.
+    fn absorb_inner_sends(
+        state: &mut ReliableState<P::State, P::Msg>,
+        violation: Option<SimulationError>,
+    ) {
+        if let Some(err) = violation {
+            panic!("protocol violated the CONGEST rules under the Reliable adapter: {err}");
+        }
+        for &i in &state.dirty_scratch {
+            let msg = state.out_scratch[i as usize]
+                .take()
+                .expect("dirty slot holds a message");
+            state.links[i as usize].queue.push_back(msg);
+        }
+        state.dirty_scratch.clear();
+    }
+
+    /// Composes at most one frame per link — promoting queued payloads,
+    /// firing the retransmit timer and flushing owed acks — and hands the
+    /// frames to the real outbox.
+    fn emit_frames(
+        state: &mut ReliableState<P::State, P::Msg>,
+        outbox: &mut Outbox<'_, Frame<P::Msg>>,
+        round: u64,
+    ) {
+        for (i, link) in state.links.iter_mut().enumerate() {
+            if link.inflight.is_none() {
+                if let Some(msg) = link.queue.pop_front() {
+                    link.inflight = Some((link.seq_next, msg));
+                    link.seq_next += 1;
+                    link.last_sent = None;
+                }
+            }
+            let mut data = None;
+            let mut seq = 0;
+            let mut resend = false;
+            if let Some((s, msg)) = &link.inflight {
+                let due = match link.last_sent {
+                    None => true,
+                    Some(sent) => round.saturating_sub(sent) >= RETRANSMIT_AFTER,
+                };
+                if due {
+                    resend = link.last_sent.is_some();
+                    seq = *s;
+                    data = Some(msg.clone());
+                    link.last_sent = Some(round);
+                }
+            }
+            let ack = link.ack_due.take();
+            if data.is_some() || ack.is_some() {
+                outbox.send_at(
+                    i,
+                    Frame {
+                        seq,
+                        data,
+                        ack,
+                        resend,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for Reliable<P> {
+    type Msg = Frame<P::Msg>;
+    type State = ReliableState<P::State, P::Msg>;
+    type Output = P::Output;
+
+    fn init(&self, view: &LocalView<'_>, outbox: &mut Outbox<'_, Self::Msg>) -> Self::State {
+        let deg = view.degree();
+        let links: Vec<LinkState<P::Msg>> = (0..deg).map(|_| LinkState::new()).collect();
+        let in_scratch = std::iter::repeat_with(|| None).take(deg).collect();
+        let mut out_scratch: Vec<Option<P::Msg>> =
+            std::iter::repeat_with(|| None).take(deg).collect();
+        let mut dirty_scratch = Vec::with_capacity(deg);
+        let mut violation = None;
+        let inner = {
+            let mut inner_outbox = Outbox::from_parts(
+                view.node,
+                view.incident_pairs(),
+                &mut out_scratch,
+                0,
+                &mut dirty_scratch,
+                &mut violation,
+            );
+            self.inner.init(view, &mut inner_outbox)
+        };
+        let mut state = ReliableState {
+            inner,
+            links,
+            in_scratch,
+            out_scratch,
+            dirty_scratch,
+        };
+        Self::absorb_inner_sends(&mut state, violation);
+        Self::emit_frames(&mut state, outbox, 0);
+        state
+    }
+
+    fn round(
+        &self,
+        view: &LocalView<'_>,
+        state: &mut Self::State,
+        inbox: &Inbox<'_, Self::Msg>,
+        outbox: &mut Outbox<'_, Self::Msg>,
+        round: u64,
+    ) {
+        // 1. Absorb arrived frames: clear acked in-flight payloads, accept
+        //    in-order data for the inner inbox, re-ack duplicates (their
+        //    earlier ack was lost).
+        for (edge, frame) in inbox.iter() {
+            let i = view
+                .slot_via(edge)
+                .expect("frame arrived over an incident edge");
+            let link = &mut state.links[i];
+            if let Some(acked) = frame.ack {
+                if link.inflight.as_ref().is_some_and(|&(seq, _)| seq <= acked) {
+                    link.inflight = None;
+                    link.last_sent = None;
+                }
+            }
+            if let Some(payload) = &frame.data {
+                if frame.seq == link.expected {
+                    state.in_scratch[i] = Some(payload.clone());
+                    link.expected += 1;
+                    link.ack_due = Some(frame.seq);
+                } else if frame.seq < link.expected {
+                    link.ack_due = Some(link.expected - 1);
+                }
+                // `seq > expected` cannot happen on a FIFO link under
+                // stop-and-wait; ignore defensively.
+            }
+        }
+
+        // 2. One inner round over exactly the accepted payloads.
+        let mut violation = None;
+        {
+            let inner_inbox = Inbox::from_parts(view.incident_pairs(), &state.in_scratch);
+            let mut inner_outbox = Outbox::from_parts(
+                view.node,
+                view.incident_pairs(),
+                &mut state.out_scratch,
+                0,
+                &mut state.dirty_scratch,
+                &mut violation,
+            );
+            self.inner.round(
+                view,
+                &mut state.inner,
+                &inner_inbox,
+                &mut inner_outbox,
+                round,
+            );
+        }
+        for slot in state.in_scratch.iter_mut() {
+            *slot = None;
+        }
+        Self::absorb_inner_sends(state, violation);
+
+        // 3. Put frames on the wire.
+        Self::emit_frames(state, outbox, round);
+    }
+
+    fn is_terminated(&self, state: &Self::State) -> bool {
+        self.inner.is_terminated(&state.inner) && state.links.iter().all(LinkState::is_idle)
+    }
+
+    fn output(&self, view: &LocalView<'_>, state: Self::State) -> Self::Output {
+        self.inner.output(view, state.inner)
+    }
+}

@@ -1,0 +1,262 @@
+//! Textual round-trip for [`MaxFlowConfig`].
+//!
+//! The workspace's `serde` is an offline compile-surface shim (no registry
+//! access), so the derives on [`MaxFlowConfig`] emit nothing. Deployments
+//! still need configs in files, and the `#[serde(skip, default)]` contract
+//! on the machine-specific parallelism knob needs an executable pin — so
+//! this module implements the round-trip the real derive would provide, for
+//! exactly the annotated surface:
+//!
+//! * [`MaxFlowConfig::to_json`] writes every serializable field and **omits
+//!   the `#[serde(skip)]` `parallelism` field** — thread counts never travel
+//!   between machines;
+//! * [`MaxFlowConfig::from_json`] restores skipped fields to their defaults
+//!   (a deserialized config runs sequentially until the deployment opts back
+//!   in), treats absent fields as their [`MaxFlowConfig::default`] values,
+//!   and rejects unknown fields — including an explicit `parallelism` key.
+//!
+//! Swap this module for real serde once a registry is reachable; the tests
+//! in `crates/core/tests/config_roundtrip.rs` pin the semantics either way.
+
+use capprox::RackeConfig;
+use flowgraph::GraphError;
+
+use crate::solver::MaxFlowConfig;
+
+impl MaxFlowConfig {
+    /// Serializes the config to a JSON object string. The
+    /// `#[serde(skip)]`-annotated `parallelism` field is omitted, matching
+    /// the derive contract. Non-finite floats serialize as `null` (the same
+    /// choice `serde_json` makes), so the output is always valid JSON — but
+    /// such a document will not parse back into a required float field:
+    /// [`MaxFlowConfig::validate`] configs before persisting them.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"epsilon\":{},\"racke\":{{\"num_trees\":{},\"mwu_step\":{},\"seed\":{},\
+             \"lowstretch_z\":{}}},\"alpha\":{},\"max_iterations_per_phase\":{},\"phases\":{}}}",
+            json_f64(self.epsilon),
+            opt_usize(self.racke.num_trees),
+            json_f64(self.racke.mwu_step),
+            self.racke.seed,
+            json_f64(self.racke.lowstretch_z),
+            self.alpha.map_or_else(|| "null".to_string(), json_f64),
+            self.max_iterations_per_phase,
+            opt_usize(self.phases),
+        )
+    }
+
+    /// Parses a config previously written by [`MaxFlowConfig::to_json`] (or
+    /// by hand). Absent fields keep their [`MaxFlowConfig::default`] values;
+    /// skipped fields (`parallelism`) deserialize to their defaults and may
+    /// not appear in the document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidConfig`] for malformed JSON, unknown or
+    /// skipped fields, and out-of-range values. The parsed config is *not*
+    /// validated — call [`MaxFlowConfig::validate`] before use, exactly as
+    /// with a hand-built config.
+    pub fn from_json(text: &str) -> Result<MaxFlowConfig, GraphError> {
+        let mut config = MaxFlowConfig::default();
+        let mut p = Parser::new(text);
+        p.expect_object_start()?;
+        while let Some(key) = p.next_key()? {
+            match key.as_str() {
+                "epsilon" => config.epsilon = p.f64_value()?,
+                "alpha" => config.alpha = p.opt_f64_value()?,
+                "max_iterations_per_phase" => config.max_iterations_per_phase = p.usize_value()?,
+                "phases" => config.phases = p.opt_usize_value()?,
+                "racke" => config.racke = parse_racke(&mut p)?,
+                "parallelism" => {
+                    return Err(GraphError::InvalidConfig {
+                        parameter: "parallelism",
+                        reason: "is #[serde(skip)]: machine-specific thread counts never \
+                                 travel in config files (deserialized configs run \
+                                 sequentially until the deployment opts back in)",
+                    })
+                }
+                _ => {
+                    return Err(GraphError::InvalidConfig {
+                        parameter: "json",
+                        reason: "unknown field in MaxFlowConfig document",
+                    })
+                }
+            }
+        }
+        p.expect_end()?;
+        Ok(config)
+    }
+}
+
+fn parse_racke(p: &mut Parser<'_>) -> Result<RackeConfig, GraphError> {
+    let mut racke = RackeConfig::default();
+    p.expect_object_start()?;
+    while let Some(key) = p.next_key()? {
+        match key.as_str() {
+            "num_trees" => racke.num_trees = p.opt_usize_value()?,
+            "mwu_step" => racke.mwu_step = p.f64_value()?,
+            "seed" => racke.seed = p.u64_value()?,
+            "lowstretch_z" => racke.lowstretch_z = p.f64_value()?,
+            _ => {
+                return Err(GraphError::InvalidConfig {
+                    parameter: "json",
+                    reason: "unknown field in RackeConfig document",
+                })
+            }
+        }
+    }
+    Ok(racke)
+}
+
+fn opt_usize(v: Option<usize>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+/// JSON rendering of an `f64`: `{:?}` round-trips finite values exactly;
+/// NaN and the infinities have no JSON representation and become `null`
+/// (matching `serde_json`), keeping the document parseable by any consumer.
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+const MALFORMED: GraphError = GraphError::InvalidConfig {
+    parameter: "json",
+    reason: "malformed MaxFlowConfig document",
+};
+
+/// A minimal recursive-descent reader for the flat JSON subset
+/// [`MaxFlowConfig::to_json`] emits: objects with string keys and number /
+/// null values. Object-valued fields recurse through their own key loop.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Object-nesting bookkeeping: whether the parser is before the first
+    /// key of the current object (no comma expected).
+    fresh_object: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            fresh_object: false,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_object_start(&mut self) -> Result<(), GraphError> {
+        if self.eat(b'{') {
+            self.fresh_object = true;
+            Ok(())
+        } else {
+            Err(MALFORMED)
+        }
+    }
+
+    /// The next `"key":` of the current object, or `None` at its `}`.
+    fn next_key(&mut self) -> Result<Option<String>, GraphError> {
+        if self.eat(b'}') {
+            self.fresh_object = false;
+            return Ok(None);
+        }
+        if !self.fresh_object && !self.eat(b',') {
+            return Err(MALFORMED);
+        }
+        self.fresh_object = false;
+        if !self.eat(b'"') {
+            return Err(MALFORMED);
+        }
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&b| b != b'"') {
+            self.pos += 1;
+        }
+        let key = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| MALFORMED)?
+            .to_string();
+        self.pos += 1; // closing quote
+        if !self.eat(b':') {
+            return Err(MALFORMED);
+        }
+        Ok(Some(key))
+    }
+
+    /// The raw characters of a number / null scalar.
+    fn scalar(&mut self) -> Result<&'a str, GraphError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| !matches!(b, b',' | b'}' | b'{') && !b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(MALFORMED);
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| MALFORMED)
+    }
+
+    fn f64_value(&mut self) -> Result<f64, GraphError> {
+        self.scalar()?.parse().map_err(|_| MALFORMED)
+    }
+
+    fn u64_value(&mut self) -> Result<u64, GraphError> {
+        self.scalar()?.parse().map_err(|_| MALFORMED)
+    }
+
+    fn usize_value(&mut self) -> Result<usize, GraphError> {
+        self.scalar()?.parse().map_err(|_| MALFORMED)
+    }
+
+    fn opt_f64_value(&mut self) -> Result<Option<f64>, GraphError> {
+        let s = self.scalar()?;
+        if s == "null" {
+            Ok(None)
+        } else {
+            s.parse().map(Some).map_err(|_| MALFORMED)
+        }
+    }
+
+    fn opt_usize_value(&mut self) -> Result<Option<usize>, GraphError> {
+        let s = self.scalar()?;
+        if s == "null" {
+            Ok(None)
+        } else {
+            s.parse().map(Some).map_err(|_| MALFORMED)
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), GraphError> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(MALFORMED)
+        }
+    }
+}

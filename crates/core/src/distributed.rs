@@ -32,7 +32,8 @@
 //! the `Θ(n²)` of distributed push–relabel and the `Θ(m)` of centralizing the
 //! input — is what experiments E1/E9 check against this accounting.
 
-use congest::primitives::{build_bfs_tree, pipelined_broadcast_cost};
+use congest::model::CommModel;
+use congest::primitives::{build_bfs_tree, build_bfs_tree_on, pipelined_broadcast_cost};
 use congest::treeops::{DecomposedTree, TreeDecomposition};
 use congest::{Network, RoundCost};
 use flowgraph::{Graph, GraphError, NodeId, RootedTree};
@@ -309,6 +310,120 @@ impl<'g> PreparedMaxFlow<'g> {
         (per_iteration, repair)
     }
 
+    /// Runs one s–t query under an arbitrary communication model
+    /// (`CommModel::Classic` is [`Self::distributed_max_flow`] exactly,
+    /// cached plan and all).
+    ///
+    /// The flow itself is computed by the same centralized gradient descent
+    /// for every model — it is **byte-identical** across models — while the
+    /// measured protocols (BFS construction, the Lemma 8.2 aggregations of
+    /// every virtual tree, the Lemma 9.1 repair aggregation) are re-executed
+    /// on the model's fabric, through the retransmit-with-ack adapter on the
+    /// lossy model. Under an interfering adversary the round bill is
+    /// therefore retransmission-inflated (but finite, and reproducible for a
+    /// fixed adversary seed); under the clique it is classic's bill with the
+    /// pair-capacity rule enforced.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`Self::max_flow`], plus
+    /// [`GraphError::InvalidConfig`] for [`CommModel::Bcast`] (the plan's
+    /// protocols are edge-addressed; the `BCAST(log n)` tree aggregations
+    /// live in `congest::treeops::bcast_subtree_sums`).
+    pub fn distributed_max_flow_on(
+        &mut self,
+        s: NodeId,
+        t: NodeId,
+        model: &CommModel,
+    ) -> Result<DistributedMaxFlowResult, GraphError> {
+        if matches!(model, CommModel::Classic) {
+            return self.distributed_max_flow(s, t);
+        }
+        if matches!(model, CommModel::Bcast) {
+            return Err(GraphError::InvalidConfig {
+                parameter: "comm_model",
+                reason: "the distributed plan's protocols are edge-addressed and cannot run \
+                         on BCAST(log n); use congest::treeops::bcast_subtree_sums for the \
+                         broadcast-model tree aggregations",
+            });
+        }
+        if matches!(model, CommModel::Clique) {
+            // The plan's BFS flood sends one announcement per incident edge;
+            // on a multigraph two parallel edges target one peer, which the
+            // clique's one-word-per-ordered-pair rule cannot carry. Reject
+            // up front with a typed error instead of panicking mid-protocol.
+            let mut peers: Vec<u32> = Vec::new();
+            for v in self.graph().nodes() {
+                peers.clear();
+                peers.extend(self.graph().incident(v).iter().map(|&(_, w)| w.0));
+                peers.sort_unstable();
+                if peers.windows(2).any(|w| w[0] == w[1]) {
+                    return Err(GraphError::InvalidConfig {
+                        parameter: "comm_model",
+                        reason: "the graph has parallel edges; the congested clique carries \
+                                 one word per ordered node pair per round, so the plan's \
+                                 per-edge BFS flood cannot run on it",
+                    });
+                }
+            }
+        }
+        let result = self.max_flow(s, t)?;
+        let (num_nodes, num_edges) = (self.graph().num_nodes(), self.graph().num_edges());
+        let decomposition_rounds = self.ensemble_stats().decomposition_rounds as u64;
+        self.ensure_plan();
+        let plan = self.plan.as_ref().expect("plan was just built");
+
+        // Re-measure every protocol of the plan on the model's fabric. The
+        // cached Lemma 8.2 / 9.1 decomposition handles are reused, so the
+        // protocols are the same — only the channel behaves differently.
+        let n = num_nodes;
+        let sqrt_n = (n as f64).sqrt().ceil() as u64;
+        let bfs = build_bfs_tree_on(model, &plan.network, NodeId(0));
+        let bfs_depth = bfs.tree.max_depth();
+        let mut construction = capprox::sparsify::congest_cost(n, bfs_depth);
+        construction.add_sequential(RoundCost::rounds(
+            decomposition_rounds * (bfs_depth as u64 + sqrt_n),
+        ));
+        let unit_values = vec![1.0; n];
+        let mut per_iteration = RoundCost::ZERO;
+        for handle in &plan.virtual_trees {
+            let up = handle.subtree_sums_on(model, &plan.network, &bfs.tree, &unit_values);
+            let down = handle.prefix_sums_on(model, &plan.network, &bfs.tree, &unit_values);
+            construction.add_sequential(up.cost);
+            per_iteration.add_parallel(up.cost.then(down.cost));
+        }
+        per_iteration.add_sequential(pipelined_broadcast_cost(&bfs.tree, 4));
+        let logn = (n.max(2) as f64).log2().ceil() as u64;
+        let repair_tree_construction = RoundCost::rounds((bfs_depth as u64 + sqrt_n) * logn);
+        let per_query_repair = plan
+            .repair
+            .subtree_sums_on(model, &plan.network, &bfs.tree, &unit_values)
+            .cost;
+
+        let gradient_descent = per_iteration.repeat(result.iterations.max(1) as u64);
+        let mut repair = repair_tree_construction;
+        repair.add_sequential(per_query_repair);
+        let total = bfs
+            .cost
+            .then(construction)
+            .then(gradient_descent)
+            .then(repair);
+        Ok(DistributedMaxFlowResult {
+            rounds: RoundBreakdown {
+                bfs_construction: bfs.cost,
+                approximator_construction: construction,
+                per_iteration,
+                gradient_descent,
+                repair,
+                total,
+            },
+            bfs_depth,
+            num_nodes,
+            num_edges,
+            result,
+        })
+    }
+
     /// Runs one s–t query and returns the flow together with the standalone
     /// CONGEST round accounting (construction charged to this call, exactly
     /// like [`distributed_approx_max_flow`]); use
@@ -379,6 +494,31 @@ pub fn distributed_approx_max_flow(
         return Err(GraphError::NotConnected);
     }
     PreparedMaxFlow::prepare(g, config)?.distributed_max_flow(s, t)
+}
+
+/// [`distributed_approx_max_flow`] executed under an arbitrary communication
+/// model — the one-shot form of
+/// [`PreparedMaxFlow::distributed_max_flow_on`]. The flow is byte-identical
+/// across models; the round bill reflects the model's fabric (classic and
+/// clique agree, a lossy adversary inflates it with retransmissions).
+///
+/// # Errors
+///
+/// Same error conditions as [`PreparedMaxFlow::distributed_max_flow_on`].
+pub fn distributed_approx_max_flow_on(
+    g: &Graph,
+    s: NodeId,
+    t: NodeId,
+    config: &MaxFlowConfig,
+    model: &CommModel,
+) -> Result<DistributedMaxFlowResult, GraphError> {
+    if g.num_nodes() == 0 {
+        return Err(GraphError::Empty);
+    }
+    if !g.is_connected() {
+        return Err(GraphError::NotConnected);
+    }
+    PreparedMaxFlow::prepare(g, config)?.distributed_max_flow_on(s, t, model)
 }
 
 /// Routes a demand over a rooted spanning tree while accounting the CONGEST
@@ -526,6 +666,137 @@ mod tests {
         let (per_iteration, per_query_repair) = session.remeasure_query_costs();
         assert_eq!(per_iteration, bill.per_iteration);
         assert_eq!(per_query_repair, bill.per_query_repair);
+    }
+
+    #[test]
+    fn model_flows_are_byte_identical_and_lossy_bills_inflate() {
+        use congest::model::Adversary;
+        let g = gen::grid(5, 5, 1.0);
+        let cfg = config(3)
+            .with_phases(Some(1))
+            .with_max_iterations_per_phase(20);
+        let mut session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+        let classic = session.distributed_max_flow(NodeId(0), NodeId(24)).unwrap();
+
+        // The clique executes the same protocols over a reliable fabric: the
+        // whole breakdown matches classic.
+        let clique = session
+            .distributed_max_flow_on(NodeId(0), NodeId(24), &CommModel::Clique)
+            .unwrap();
+        assert_eq!(
+            clique.result.value.to_bits(),
+            classic.result.value.to_bits()
+        );
+        assert_eq!(clique.rounds, classic.rounds);
+
+        // A benign adversary is indistinguishable from classic.
+        let benign = session
+            .distributed_max_flow_on(
+                NodeId(0),
+                NodeId(24),
+                &CommModel::Lossy(Adversary::benign(3)),
+            )
+            .unwrap();
+        assert_eq!(benign.rounds, classic.rounds);
+
+        // Real drop rates: identical flow, inflated but finite bill with
+        // visible retransmissions.
+        for drop_p in [0.1, 0.2] {
+            let lossy = session
+                .distributed_max_flow_on(
+                    NodeId(0),
+                    NodeId(24),
+                    &CommModel::Lossy(Adversary::lossy(17, drop_p)),
+                )
+                .unwrap();
+            assert_eq!(
+                lossy.result.value.to_bits(),
+                classic.result.value.to_bits(),
+                "p={drop_p}"
+            );
+            let flow_bits: Vec<u64> = lossy
+                .result
+                .flow
+                .values()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let classic_bits: Vec<u64> = classic
+                .result
+                .flow
+                .values()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(flow_bits, classic_bits, "p={drop_p}");
+            assert!(
+                lossy.rounds.total.rounds > classic.rounds.total.rounds,
+                "p={drop_p}: lossy bill must exceed classic's"
+            );
+            assert!(lossy.rounds.total.retransmissions > 0, "p={drop_p}");
+            assert_eq!(classic.rounds.total.retransmissions, 0);
+            // The wrapper's one-word frame header is the only width change.
+            assert!(
+                lossy.rounds.per_iteration.max_message_words
+                    <= classic.rounds.per_iteration.max_message_words + 1
+            );
+        }
+
+        // The one-shot wrapper agrees with the session for the same model.
+        let lossy_model = CommModel::Lossy(Adversary::lossy(17, 0.2));
+        let one_shot =
+            distributed_approx_max_flow_on(&g, NodeId(0), NodeId(24), &cfg, &lossy_model).unwrap();
+        let session_run = session
+            .distributed_max_flow_on(NodeId(0), NodeId(24), &lossy_model)
+            .unwrap();
+        assert_eq!(one_shot.rounds, session_run.rounds);
+        assert_eq!(
+            one_shot.result.value.to_bits(),
+            session_run.result.value.to_bits()
+        );
+    }
+
+    #[test]
+    fn clique_model_rejects_multigraphs_with_a_typed_error() {
+        // Parallel edges are legal in per-edge CONGEST but exceed the
+        // clique's one-word-per-ordered-pair rule; the session must return
+        // the typed error, not panic inside the BFS flood.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        g.add_edge(NodeId(0), NodeId(1), 2.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1.0).unwrap();
+        let mut session = PreparedMaxFlow::prepare(&g, &config(2)).unwrap();
+        // The classic plan handles the multigraph fine...
+        session.distributed_max_flow(NodeId(0), NodeId(2)).unwrap();
+        // ...the clique rejects it up front.
+        match session.distributed_max_flow_on(NodeId(0), NodeId(2), &CommModel::Clique) {
+            Err(GraphError::InvalidConfig { parameter, reason }) => {
+                assert_eq!(parameter, "comm_model");
+                assert!(reason.contains("parallel edges"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // The lossy model still runs it (per-edge fabric, parallel edges OK).
+        session
+            .distributed_max_flow_on(
+                NodeId(0),
+                NodeId(2),
+                &CommModel::Lossy(congest::model::Adversary::lossy(1, 0.1)),
+            )
+            .unwrap();
+    }
+
+    #[test]
+    fn bcast_model_is_rejected_with_a_pointer_to_the_port() {
+        let g = gen::grid(4, 4, 1.0);
+        let mut session = PreparedMaxFlow::prepare(&g, &config(2)).unwrap();
+        match session.distributed_max_flow_on(NodeId(0), NodeId(15), &CommModel::Bcast) {
+            Err(GraphError::InvalidConfig { parameter, reason }) => {
+                assert_eq!(parameter, "comm_model");
+                assert!(reason.contains("bcast_subtree_sums"));
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

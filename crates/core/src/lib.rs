@@ -87,6 +87,7 @@
 #![warn(missing_docs)]
 
 pub mod almost_route;
+pub mod config_io;
 pub mod distributed;
 pub mod session;
 pub mod solver;
@@ -94,8 +95,10 @@ pub mod solver;
 pub use almost_route::{
     almost_route, almost_route_with, AlmostRouteConfig, AlmostRouteResult, AlmostRouteScratch,
 };
+pub use congest::model::{Adversary, CommModel};
 pub use distributed::{
-    distributed_approx_max_flow, DistributedMaxFlowResult, RoundBreakdown, SessionBill,
+    distributed_approx_max_flow, distributed_approx_max_flow_on, DistributedMaxFlowResult,
+    RoundBreakdown, SessionBill,
 };
 pub use parallel::Parallelism;
 pub use session::PreparedMaxFlow;

@@ -1,0 +1,221 @@
+//! `MaxFlowConfig` coverage: the serde-shaped round-trip (including the
+//! `#[serde(skip)]` contract on the machine-specific parallelism fields) and
+//! a table-driven `validate()` suite covering every
+//! `GraphError::InvalidConfig` arm.
+
+use capprox::RackeConfig;
+use flowgraph::GraphError;
+use maxflow::{MaxFlowConfig, Parallelism};
+
+fn sample_config() -> MaxFlowConfig {
+    MaxFlowConfig::default()
+        .with_epsilon(0.25)
+        .with_racke(
+            RackeConfig::default()
+                .with_num_trees(6)
+                .with_seed(0xfeed_beef),
+        )
+        .with_alpha(Some(3.5))
+        .with_max_iterations_per_phase(1234)
+        .with_phases(Some(4))
+        .with_parallelism(Parallelism::with_threads(8))
+}
+
+#[test]
+fn round_trip_preserves_every_serialized_field() {
+    let config = sample_config();
+    let restored = MaxFlowConfig::from_json(&config.to_json()).unwrap();
+    assert_eq!(restored.epsilon.to_bits(), config.epsilon.to_bits());
+    assert_eq!(restored.racke.num_trees, config.racke.num_trees);
+    assert_eq!(
+        restored.racke.mwu_step.to_bits(),
+        config.racke.mwu_step.to_bits()
+    );
+    assert_eq!(restored.racke.seed, config.racke.seed);
+    assert_eq!(
+        restored.racke.lowstretch_z.to_bits(),
+        config.racke.lowstretch_z.to_bits()
+    );
+    assert_eq!(
+        restored.alpha.map(f64::to_bits),
+        config.alpha.map(f64::to_bits)
+    );
+    assert_eq!(
+        restored.max_iterations_per_phase,
+        config.max_iterations_per_phase
+    );
+    assert_eq!(restored.phases, config.phases);
+    // A round-tripped valid config stays valid.
+    restored.validate().unwrap();
+}
+
+#[test]
+fn skipped_parallelism_deserializes_to_the_sequential_default() {
+    // The #[serde(skip)] fields never travel: an 8-thread config serializes
+    // without any parallelism key and comes back sequential.
+    let config = sample_config();
+    assert_eq!(config.parallelism.threads(), 8);
+    let json = config.to_json();
+    assert!(
+        !json.contains("parallelism") && !json.contains("threads"),
+        "skipped fields must not be serialized: {json}"
+    );
+    let restored = MaxFlowConfig::from_json(&json).unwrap();
+    assert_eq!(restored.parallelism.threads(), 1);
+    assert_eq!(
+        restored.parallelism.threads(),
+        Parallelism::default().threads()
+    );
+}
+
+#[test]
+fn explicit_parallelism_key_is_rejected() {
+    let err = MaxFlowConfig::from_json(r#"{"epsilon":0.1,"parallelism":{"threads":64}}"#)
+        .expect_err("skip-annotated fields may not appear in documents");
+    match err {
+        GraphError::InvalidConfig { parameter, reason } => {
+            assert_eq!(parameter, "parallelism");
+            assert!(reason.contains("skip"), "{reason}");
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
+#[test]
+fn nulls_and_absent_fields_restore_defaults() {
+    // `null` is an explicit None for the Option fields.
+    let restored = MaxFlowConfig::from_json(
+        r#"{"epsilon":0.5,"alpha":null,"phases":null,"racke":{"num_trees":null}}"#,
+    )
+    .unwrap();
+    assert_eq!(restored.alpha, None);
+    assert_eq!(restored.phases, None);
+    assert_eq!(restored.racke.num_trees, None);
+    // Absent fields mean "the default".
+    let defaults = MaxFlowConfig::default();
+    let sparse = MaxFlowConfig::from_json(r#"{"epsilon":0.5}"#).unwrap();
+    assert_eq!(
+        sparse.max_iterations_per_phase,
+        defaults.max_iterations_per_phase
+    );
+    assert_eq!(sparse.racke.seed, defaults.racke.seed);
+    assert_eq!(
+        sparse.racke.mwu_step.to_bits(),
+        defaults.racke.mwu_step.to_bits()
+    );
+    // An empty document is exactly the default config.
+    let empty = MaxFlowConfig::from_json("{}").unwrap();
+    assert_eq!(empty.epsilon.to_bits(), defaults.epsilon.to_bits());
+    assert_eq!(empty.phases, defaults.phases);
+}
+
+#[test]
+fn non_finite_floats_serialize_as_valid_json() {
+    // serde_json parity: NaN / infinities have no JSON representation and
+    // become null, so the document stays consumable by any JSON parser —
+    // and refuses to round-trip into a required float field rather than
+    // resurrecting a NaN config.
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let json = sample_config().with_epsilon(bad).to_json();
+        assert!(
+            !json.contains("NaN") && !json.contains("inf"),
+            "bare non-finite literal leaked into {json}"
+        );
+        assert!(json.contains("\"epsilon\":null"), "{json}");
+        assert!(MaxFlowConfig::from_json(&json).is_err());
+    }
+    // A non-finite alpha is an Option: null round-trips to None.
+    let restored =
+        MaxFlowConfig::from_json(&sample_config().with_alpha(Some(f64::NAN)).to_json()).unwrap();
+    assert_eq!(restored.alpha, None);
+}
+
+#[test]
+fn malformed_documents_are_rejected() {
+    for bad in [
+        "",
+        "{",
+        "{}}",
+        "not json at all",
+        r#"{"epsilon":}"#,
+        r#"{"epsilon":0.1"#,
+        r#"{"epsilon":0.1} trailing"#,
+        r#"{"epsilon":"a string"}"#,
+        r#"{"unknown_field":1}"#,
+        r#"{"racke":{"unknown":1}}"#,
+        r#"{"max_iterations_per_phase":-3}"#,
+        r#"{"epsilon":0.1 "alpha":null}"#,
+    ] {
+        assert!(
+            MaxFlowConfig::from_json(bad).is_err(),
+            "document {bad:?} must be rejected"
+        );
+    }
+}
+
+/// Every `GraphError::InvalidConfig` arm of `validate()`, table-driven: the
+/// offending builder call, the parameter the error must name, and a word the
+/// reason must contain.
+#[test]
+fn validate_rejects_every_invalid_config_arm() {
+    let base = sample_config;
+    let cases: Vec<(MaxFlowConfig, &str, &str)> = vec![
+        (base().with_epsilon(0.0), "epsilon", "finite"),
+        (base().with_epsilon(-1.0), "epsilon", "finite"),
+        (base().with_epsilon(f64::NAN), "epsilon", "finite"),
+        (base().with_epsilon(f64::INFINITY), "epsilon", "finite"),
+        (
+            base().with_max_iterations_per_phase(0),
+            "max_iterations_per_phase",
+            "at least 1",
+        ),
+        (base().with_phases(Some(0)), "phases", "at least 1"),
+        (
+            base().with_racke(RackeConfig::default().with_num_trees(0)),
+            "racke.num_trees",
+            "at least 1",
+        ),
+        (base().with_alpha(Some(0.0)), "alpha", "finite"),
+        (base().with_alpha(Some(-2.0)), "alpha", "finite"),
+        (base().with_alpha(Some(f64::NAN)), "alpha", "finite"),
+        (
+            base().with_alpha(Some(f64::NEG_INFINITY)),
+            "alpha",
+            "finite",
+        ),
+    ];
+    for (config, parameter, reason_word) in cases {
+        match config.validate() {
+            Err(GraphError::InvalidConfig {
+                parameter: p,
+                reason,
+            }) => {
+                assert_eq!(p, parameter, "wrong parameter named");
+                assert!(
+                    reason.contains(reason_word),
+                    "{parameter}: reason {reason:?} lacks {reason_word:?}"
+                );
+                // The Display form names the offending parameter too.
+                let display = GraphError::InvalidConfig {
+                    parameter: p,
+                    reason,
+                }
+                .to_string();
+                assert!(display.contains(parameter), "{display}");
+            }
+            other => panic!("{parameter}: expected InvalidConfig, got {other:?}"),
+        }
+    }
+    // The happy path: every boundary-but-legal knob passes.
+    for ok in [
+        base(),
+        base().with_alpha(None),
+        base().with_phases(None),
+        base().with_racke(RackeConfig::default()),
+        base().with_epsilon(f64::MIN_POSITIVE),
+        base().with_max_iterations_per_phase(1),
+        base().with_phases(Some(1)),
+    ] {
+        ok.validate().unwrap();
+    }
+}

@@ -12,8 +12,12 @@
 //! reports min/mean/max nanoseconds per iteration on stdout. When the
 //! `BENCH_JSON` environment variable names a file, one JSON line per
 //! benchmark is appended to it — the repository's `BENCH_seed.json` baseline
-//! is produced this way. `MINI_CRITERION_SAMPLES` overrides every group's
-//! sample count (useful to smoke-run benches in CI).
+//! is produced this way. Two environment overrides control the sample
+//! count, in precedence order: `MINI_CRITERION_SAMPLES` (used to smoke-run
+//! benches in CI) wins over `BENCH_SAMPLES` (used when recording baselines,
+//! so noisy single-CPU hosts can raise every group's sample count at once —
+//! the CI baseline gates read the recorded `samples` field and refuse to
+//! judge timing bounds measured from fewer than `BENCH_SAMPLES` samples).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -206,11 +210,11 @@ impl BenchmarkGroup<'_> {
     }
 
     fn effective_samples(&self) -> usize {
-        std::env::var("MINI_CRITERION_SAMPLES")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(self.sample_size)
-            .max(1)
+        resolve_samples(
+            std::env::var("MINI_CRITERION_SAMPLES").ok().as_deref(),
+            std::env::var("BENCH_SAMPLES").ok().as_deref(),
+            self.sample_size,
+        )
     }
 
     /// Benchmarks `routine` under the given id.
@@ -267,6 +271,16 @@ impl BenchmarkGroup<'_> {
             threads: self.threads,
         });
     }
+}
+
+/// Sample-count resolution: the CI smoke override (`MINI_CRITERION_SAMPLES`)
+/// wins over the baseline-recording override (`BENCH_SAMPLES`), which wins
+/// over the group's configured default; at least one sample always runs.
+fn resolve_samples(mini: Option<&str>, bench: Option<&str>, default: usize) -> usize {
+    mini.and_then(|s| s.parse().ok())
+        .or_else(|| bench.and_then(|s| s.parse().ok()))
+        .unwrap_or(default)
+        .max(1)
 }
 
 /// Entry point mirroring `criterion::Criterion`.
@@ -328,6 +342,20 @@ mod tests {
     fn benchmark_ids_render() {
         assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
         assert_eq!(BenchmarkId::from_parameter(0.5).id, "0.5");
+    }
+
+    #[test]
+    fn sample_overrides_resolve_in_precedence_order() {
+        // No overrides: the group default, floored at 1.
+        assert_eq!(resolve_samples(None, None, 3), 3);
+        assert_eq!(resolve_samples(None, None, 0), 1);
+        // BENCH_SAMPLES raises the baseline-recording count.
+        assert_eq!(resolve_samples(None, Some("5"), 3), 5);
+        // The CI smoke override wins over both.
+        assert_eq!(resolve_samples(Some("1"), Some("5"), 3), 1);
+        // Garbage values fall through to the next layer.
+        assert_eq!(resolve_samples(Some("nope"), Some("4"), 3), 4);
+        assert_eq!(resolve_samples(Some("nope"), Some("bad"), 3), 3);
     }
 
     #[test]

@@ -238,16 +238,37 @@ pub mod test_runner {
         }
     }
 
+    /// The effective case count: the configured count scaled by the
+    /// `PROPTEST_CASES_MULTIPLIER` environment variable (the scheduled CI
+    /// stress job sets it to 10 to sweep 10× the seeds without the suites
+    /// hard-coding two budgets).
+    fn effective_cases(configured: u32) -> u32 {
+        scale_cases(
+            configured,
+            std::env::var("PROPTEST_CASES_MULTIPLIER").ok().as_deref(),
+        )
+    }
+
+    /// Pure scaling rule behind `effective_cases`: a parsable multiplier
+    /// scales the configured count (floored at 1×); anything else is 1×.
+    pub(crate) fn scale_cases(configured: u32, multiplier: Option<&str>) -> u32 {
+        let multiplier = multiplier
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or(1)
+            .max(1);
+        configured.saturating_mul(multiplier)
+    }
+
     /// Replays persisted regression seeds, then runs `config.cases` fresh
-    /// deterministic cases. Panics (and persists the seed) on the first
-    /// failing case.
+    /// deterministic cases (scaled by `PROPTEST_CASES_MULTIPLIER`). Panics
+    /// (and persists the seed) on the first failing case.
     pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut case: F)
     where
         F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
     {
         let base = fnv1a(test_name);
         let regressions = load_regressions(test_name);
-        let fresh = (0..config.cases as u64)
+        let fresh = (0..effective_cases(config.cases) as u64)
             .map(|i| base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         for (kind, seed) in regressions
             .iter()
@@ -393,6 +414,16 @@ mod tests {
             prop_assert!(v.len() >= 2 && v.len() < 6);
             prop_assert!(v.iter().all(|&x| (0..10).contains(&x)));
         }
+    }
+
+    #[test]
+    fn case_multiplier_scales_and_defaults_to_identity() {
+        use crate::test_runner::scale_cases;
+        assert_eq!(scale_cases(12, None), 12);
+        assert_eq!(scale_cases(12, Some("10")), 120);
+        assert_eq!(scale_cases(12, Some("0")), 12, "multiplier floors at 1x");
+        assert_eq!(scale_cases(12, Some("nope")), 12);
+        assert_eq!(scale_cases(u32::MAX, Some("10")), u32::MAX, "saturates");
     }
 
     #[test]

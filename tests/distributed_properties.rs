@@ -66,6 +66,99 @@ fn per_iteration_rounds_scale_with_sqrt_n_on_expanders() {
     );
 }
 
+/// Regression pin for PR 3's documented behaviour change: the one-shot
+/// `distributed_approx_max_flow` wrapper roots its measured BFS tree at the
+/// canonical aggregation root `NodeId(0)` *regardless of the query's `s`*.
+/// Two facts follow and must not silently drift again:
+///
+/// 1. every query-independent component of the round bill (BFS
+///    construction, approximator construction, per-iteration, repair) is
+///    identical across terminal pairs — including pairs whose `s` has a very
+///    different eccentricity than node 0 — and `bfs_depth` always reports
+///    node 0's eccentricity;
+/// 2. the flows still match the session's byte for byte (the root move
+///    changed accounting only, never answers).
+#[test]
+fn one_shot_round_bill_is_rooted_at_node_zero_not_s() {
+    use congest::primitives::build_bfs_tree;
+    use congest::Network;
+    use maxflow::PreparedMaxFlow;
+
+    let g = gen::grid(5, 5, 1.0);
+    let cfg = MaxFlowConfig {
+        epsilon: 0.3,
+        racke: RackeConfig::default().with_num_trees(3).with_seed(11),
+        max_iterations_per_phase: 30,
+        phases: Some(1),
+        ..Default::default()
+    };
+    // Node 0 is the grid corner (eccentricity 8); node 12 is the center
+    // (eccentricity 4). If the BFS tree were rooted at s, these two queries
+    // would report different bfs_depth values.
+    let corner_ecc = build_bfs_tree(&Network::new(g.clone()), NodeId(0))
+        .tree
+        .max_depth();
+    let center_ecc = build_bfs_tree(&Network::new(g.clone()), NodeId(12))
+        .tree
+        .max_depth();
+    assert_ne!(corner_ecc, center_ecc, "the pin needs distinct roots");
+
+    let from_corner =
+        maxflow::distributed_approx_max_flow(&g, NodeId(0), NodeId(24), &cfg).unwrap();
+    let from_center =
+        maxflow::distributed_approx_max_flow(&g, NodeId(12), NodeId(3), &cfg).unwrap();
+
+    // Fact 1: the bill's query-independent components do not depend on s.
+    assert_eq!(from_corner.bfs_depth, corner_ecc);
+    assert_eq!(
+        from_center.bfs_depth, corner_ecc,
+        "bfs_depth must report node 0's eccentricity even for s = 12"
+    );
+    assert_eq!(
+        from_corner.rounds.bfs_construction,
+        from_center.rounds.bfs_construction
+    );
+    assert_eq!(
+        from_corner.rounds.approximator_construction,
+        from_center.rounds.approximator_construction
+    );
+    assert_eq!(
+        from_corner.rounds.per_iteration,
+        from_center.rounds.per_iteration
+    );
+    assert_eq!(from_corner.rounds.repair, from_center.rounds.repair);
+
+    // Fact 2: flows match the session byte for byte, for both queries.
+    let mut session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+    for (wrapper, (s, t)) in [
+        (&from_corner, (NodeId(0), NodeId(24))),
+        (&from_center, (NodeId(12), NodeId(3))),
+    ] {
+        let ses = session.distributed_max_flow(s, t).unwrap();
+        assert_eq!(
+            wrapper.result.value.to_bits(),
+            ses.result.value.to_bits(),
+            "s={s}"
+        );
+        let wrapper_bits: Vec<u64> = wrapper
+            .result
+            .flow
+            .values()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let ses_bits: Vec<u64> = ses
+            .result
+            .flow
+            .values()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(wrapper_bits, ses_bits, "s={s}");
+        assert_eq!(wrapper.rounds, ses.rounds, "s={s}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
