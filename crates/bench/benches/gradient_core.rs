@@ -1,0 +1,126 @@
+//! Gradient-core serving benchmark (the PR-6 acceptance numbers in
+//! `BENCH_pr6.json`).
+//!
+//! Same serving posture as the PR-3 `query_throughput` benchmark — one
+//! prepared session, 64 mixed s–t queries, Lemma 3.3 ensemble seeded at 1,
+//! one `AlmostRoute` phase with a tight iteration budget — but with the
+//! gradient-core upgrades enabled:
+//!
+//! * **trimmed ensembles** (`RackeConfig::with_target_quality`): the session
+//!   keeps only as many trees as the empirical quality probes need, so every
+//!   operator evaluation touches proportionally fewer rows;
+//! * **warm-started duals + adaptive steps** (`MaxFlowConfig::warm_start`):
+//!   repeated terminal pairs re-start the descent from the previous answer.
+//!
+//! Arms per instance:
+//!
+//! * `queries64_warm` — the gated headline: prepared session, 64 mixed
+//!   queries (same query mix as `BENCH_pr3.json`'s `session_split` group,
+//!   whose `queries64_warm/fat_tree_10k` recorded 14.594 queries/s — the
+//!   CI gate requires a >= 10x improvement here);
+//! * `repeat64_warm` — one pair asked 64 times: the warm-start fast path;
+//! * `queries64_untrimmed` — the PR-3 posture (full ensemble, cold starts)
+//!   re-measured on today's kernels, isolating how much of the headline is
+//!   ensemble trimming versus the fused soft-max pass;
+//! * `prepare` — session construction including the trimming probes.
+
+use capprox::RackeConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowgraph::{gen, Graph, NodeId};
+use maxflow::{MaxFlowConfig, PreparedMaxFlow};
+use rand::Rng;
+
+/// Queries per measurement, as in the PR acceptance criterion.
+const QUERIES: usize = 64;
+
+/// The PR-3 serving posture: full Lemma 3.3 ensemble, cold starts.
+fn untrimmed_config() -> MaxFlowConfig {
+    MaxFlowConfig::default()
+        .with_epsilon(0.3)
+        .with_racke(RackeConfig::default().with_seed(1))
+        .with_phases(Some(1))
+        .with_max_iterations_per_phase(6)
+}
+
+/// The gradient-core serving posture: trimmed ensemble + warm-started duals.
+/// Quality stays certified per answer (`value <= maxflow <= upper_bound`);
+/// the trimming target keeps every probe within measured quality 1.25.
+fn serving_config() -> MaxFlowConfig {
+    untrimmed_config()
+        .with_racke(
+            RackeConfig::default()
+                .with_seed(1)
+                .with_target_quality(1.25),
+        )
+        .with_warm_start(true)
+}
+
+fn instances() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("fat_tree_1k", gen::fat_tree(16, 8, 61, 10.0, 40.0)),
+        ("fat_tree_10k", gen::fat_tree(64, 16, 155, 10.0, 40.0)),
+        ("grid_1k", gen::grid(32, 32, 1.0)),
+        ("grid_10k", gen::grid(100, 100, 1.0)),
+    ]
+}
+
+/// 64 deterministic mixed terminal pairs (distinct endpoints) per instance —
+/// the same mix (seed `0xfee1`) the PR-3 baselines were recorded with.
+fn query_mix(g: &Graph, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let n = g.num_nodes() as u32;
+    let mut rng = gen::rng(seed);
+    let mut pairs = Vec::with_capacity(QUERIES);
+    while pairs.len() < QUERIES {
+        let s = NodeId(rng.gen_range(0..n));
+        let t = NodeId(rng.gen_range(0..n));
+        if s != t {
+            pairs.push((s, t));
+        }
+    }
+    pairs
+}
+
+fn bench_gradient_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gradient_core");
+    group.sample_size(3);
+    let config = serving_config();
+    let untrimmed = untrimmed_config();
+    for (name, g) in instances() {
+        let pairs = query_mix(&g, 0xfee1);
+        let mut session = PreparedMaxFlow::prepare(&g, &config).expect("instance is connected");
+        group.throughput(Throughput::Elements(QUERIES as u64));
+        group.bench_with_input(BenchmarkId::new("queries64_warm", name), &g, |b, _| {
+            b.iter(|| {
+                let results = session.max_flow_batch(&pairs).expect("valid terminals");
+                results.iter().map(|r| r.value).sum::<f64>()
+            })
+        });
+        let repeat = vec![pairs[0]; QUERIES];
+        group.bench_with_input(BenchmarkId::new("repeat64_warm", name), &g, |b, _| {
+            b.iter(|| {
+                let results = session.max_flow_batch(&repeat).expect("valid terminals");
+                results.iter().map(|r| r.value).sum::<f64>()
+            })
+        });
+        let mut cold = PreparedMaxFlow::prepare(&g, &untrimmed).expect("instance is connected");
+        group.bench_with_input(BenchmarkId::new("queries64_untrimmed", name), &g, |b, _| {
+            b.iter(|| {
+                let results = cold.max_flow_batch(&pairs).expect("valid terminals");
+                results.iter().map(|r| r.value).sum::<f64>()
+            })
+        });
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("prepare", name), &g, |b, g| {
+            b.iter(|| {
+                PreparedMaxFlow::prepare(g, &config)
+                    .expect("instance is connected")
+                    .ensemble_stats()
+                    .num_trees
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gradient_core);
+criterion_main!(benches);

@@ -462,6 +462,7 @@ pub fn ablation_tree_kind(n: usize) -> Experiment {
             },
             trees,
         })
+        .expect("ablation ensembles are non-empty")
     };
 
     let racke =

@@ -18,6 +18,22 @@
 //! [`CongestionApproximator::apply_transpose_into_par`] fan the per-tree work
 //! across a worker pool and reduce in fixed tree order, producing results
 //! byte-identical to the sequential evaluation for any thread count.
+//!
+//! # Level-ordered slot layout
+//!
+//! Construction flattens every tree into a struct-of-arrays view
+//! (`TreeSlots`, private): nodes are permuted into *slots* following the
+//! tree's BFS preorder (slot 0 is the root, each level is a contiguous slot
+//! range, every parent precedes its children), and the per-slot parent index
+//! and cut capacity live in flat arrays. Both aggregations then run as plain
+//! index sweeps over contiguous `f64` buffers — a reverse sweep
+//! `buf[parent[i]] += buf[i]` for the subtree sums, a forward sweep
+//! `buf[i] = buf[parent[i]] + price[i]` for the prefix sums — with no
+//! `Option` branches or per-node child-list chasing on the hot path. The slot
+//! order is exactly the preorder the original per-node walks followed, so
+//! every floating-point addition happens in the same sequence on the same
+//! values: results are bit-for-bit identical to the pointer-chasing
+//! evaluation, just faster.
 
 use flowgraph::{Demand, Graph, GraphError};
 use parallel::Parallelism;
@@ -30,7 +46,125 @@ use crate::racke::{build_tree_ensemble, CapacitatedTree, RackeConfig, TreeEnsemb
 #[derive(Debug, Clone)]
 pub struct CongestionApproximator {
     trees: Vec<CapacitatedTree>,
+    /// One flattened slot view per tree, same order as `trees`.
+    slots: Vec<TreeSlots>,
     num_nodes: usize,
+}
+
+/// Flattened, level-ordered view of one capacitated tree (see the module
+/// docs): node `node_at_slot[i]` occupies slot `i`, slots follow the tree's
+/// BFS preorder, and `parent_slot[i] < i` for every non-root slot.
+#[derive(Debug, Clone)]
+struct TreeSlots {
+    /// Slot of the parent of the node at each slot; the root slot (0) maps to
+    /// itself.
+    parent_slot: Vec<u32>,
+    /// Node index occupying each slot (the BFS preorder permutation).
+    node_at_slot: Vec<u32>,
+    /// Inverse permutation: slot occupied by each node.
+    slot_of_node: Vec<u32>,
+    /// Cut capacity of each slot's parent edge (0 at the root slot).
+    cut_capacity: Vec<f64>,
+}
+
+impl TreeSlots {
+    fn new(t: &CapacitatedTree) -> Self {
+        let n = t.tree.num_nodes();
+        let order = t.tree.preorder();
+        let mut slot_of_node = vec![0u32; n];
+        for (slot, &v) in order.iter().enumerate() {
+            slot_of_node[v.index()] = slot as u32;
+        }
+        let mut parent_slot = vec![0u32; n];
+        let mut node_at_slot = vec![0u32; n];
+        let mut cut_capacity = vec![0.0; n];
+        for (slot, &v) in order.iter().enumerate() {
+            node_at_slot[slot] = v.index() as u32;
+            cut_capacity[slot] = t.cut_capacity[v.index()];
+            parent_slot[slot] = match t.tree.parent(v) {
+                // Parents precede children in the preorder, so the parent's
+                // slot is already final.
+                Some(p) => slot_of_node[p.index()],
+                None => slot as u32,
+            };
+        }
+        TreeSlots {
+            parent_slot,
+            node_at_slot,
+            slot_of_node,
+            cut_capacity,
+        }
+    }
+
+    /// Subtree sums of the node-indexed `values`, left in slot space in
+    /// `buf`. The reverse sweep performs the same additions in the same order
+    /// as [`flowgraph::RootedTree::subtree_sums_into`].
+    fn subtree_sums_to_slots(&self, values: &[f64], buf: &mut [f64]) {
+        for (x, &v) in buf.iter_mut().zip(&self.node_at_slot) {
+            *x = values[v as usize];
+        }
+        for i in (1..buf.len()).rev() {
+            let add = buf[i];
+            buf[self.parent_slot[i] as usize] += add;
+        }
+    }
+
+    /// Divides the slot-space subtree sums in `buf` by the cut capacities and
+    /// gathers the rows back into node order (`out[v]` is the row of node
+    /// `v`, matching the public row layout).
+    fn rows_from_slots(&self, buf: &[f64], out: &mut [f64]) {
+        for (r, &slot) in out.iter_mut().zip(&self.slot_of_node) {
+            let cap = self.cut_capacity[slot as usize];
+            let sum = buf[slot as usize];
+            *r = if cap > 0.0 { sum / cap } else { 0.0 };
+        }
+    }
+
+    /// One tree's `R·b` rows: subtree sums, then the capacity division, all
+    /// through the slot permutation. `buf` is a node-sized scratch.
+    fn apply_rows(&self, values: &[f64], buf: &mut [f64], out: &mut [f64]) {
+        self.subtree_sums_to_slots(values, buf);
+        self.rows_from_slots(buf, out);
+    }
+
+    /// Gathers one tree's block of the row-indexed price vector `y_rows`
+    /// (node order) into slot space, dividing by the cut capacities — the
+    /// per-row `y_i / cap_i` scaling of `Rᵀ`.
+    fn prices_to_slots(&self, y_rows: &[f64], prices: &mut [f64]) {
+        for ((p, &v), &cap) in prices
+            .iter_mut()
+            .zip(&self.node_at_slot)
+            .zip(&self.cut_capacity)
+        {
+            *p = if cap > 0.0 {
+                y_rows[v as usize] / cap
+            } else {
+                0.0
+            };
+        }
+    }
+
+    /// Root-to-slot prefix sums of the slot-space `prices` into `buf`. The
+    /// forward sweep performs the same additions in the same order as
+    /// [`flowgraph::RootedTree::prefix_sums_from_root_into`].
+    fn prefix_sums_in_slots(&self, prices: &[f64], buf: &mut [f64]) {
+        if buf.is_empty() {
+            return;
+        }
+        buf[0] = 0.0 + prices[0];
+        for i in 1..buf.len() {
+            buf[i] = buf[self.parent_slot[i] as usize] + prices[i];
+        }
+    }
+
+    /// Accumulates the slot-space prefix sums in `buf` into the node-indexed
+    /// `potentials` (the `π += ` reduction of `Rᵀ`, in node order like the
+    /// original per-node loop).
+    fn add_potentials_from_slots(&self, buf: &[f64], potentials: &mut [f64]) {
+        for (p, &slot) in potentials.iter_mut().zip(&self.slot_of_node) {
+            *p += buf[slot as usize];
+        }
+    }
 }
 
 // The parallel operator evaluations share `&CongestionApproximator` (and the
@@ -110,17 +244,28 @@ pub struct ApproximatorStats {
 }
 
 impl CongestionApproximator {
-    /// Wraps an explicit tree ensemble as an approximator.
-    pub fn from_ensemble(ensemble: TreeEnsemble) -> Self {
-        let num_nodes = ensemble
-            .trees
-            .first()
-            .map(|t| t.tree.num_nodes())
-            .unwrap_or(0);
-        CongestionApproximator {
+    /// Wraps an explicit tree ensemble as an approximator, building the
+    /// flattened slot views the operator sweeps run over.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidConfig`] if the ensemble contains no
+    /// trees: an approximator with zero rows would report `‖Rb‖_∞ = 0` for
+    /// every demand, silently certifying nonsense instead of failing.
+    pub fn from_ensemble(ensemble: TreeEnsemble) -> Result<Self, GraphError> {
+        let Some(first) = ensemble.trees.first() else {
+            return Err(GraphError::InvalidConfig {
+                parameter: "ensemble",
+                reason: "must contain at least one tree (R would have no rows)",
+            });
+        };
+        let num_nodes = first.tree.num_nodes();
+        let slots = ensemble.trees.iter().map(TreeSlots::new).collect();
+        Ok(CongestionApproximator {
             trees: ensemble.trees,
+            slots,
             num_nodes,
-        }
+        })
     }
 
     /// Builds the approximator for `g` by constructing a Räcke-style tree
@@ -130,7 +275,7 @@ impl CongestionApproximator {
     ///
     /// Propagates construction errors for empty or disconnected graphs.
     pub fn build(g: &Graph, config: &RackeConfig) -> Result<Self, GraphError> {
-        Ok(Self::from_ensemble(build_tree_ensemble(g, config)?))
+        Self::from_ensemble(build_tree_ensemble(g, config)?)
     }
 
     /// The trees backing the approximator.
@@ -208,12 +353,8 @@ impl CongestionApproximator {
         }
         assert_eq!(rows.len(), self.num_rows(), "row buffer length mismatch");
         scratch.ensure_nodes(self.num_nodes);
-        for (t_index, t) in self.trees.iter().enumerate() {
-            t.tree.subtree_sums_into(b.values(), &mut scratch.node_a);
-            let out = &mut rows[t_index * self.num_nodes..(t_index + 1) * self.num_nodes];
-            for ((r, &sum), &cap) in out.iter_mut().zip(&scratch.node_a).zip(&t.cut_capacity) {
-                *r = if cap > 0.0 { sum / cap } else { 0.0 };
-            }
+        for (slots, out) in self.slots.iter().zip(rows.chunks_mut(self.num_nodes)) {
+            slots.apply_rows(b.values(), &mut scratch.node_a, out);
         }
         Ok(())
     }
@@ -259,18 +400,15 @@ impl CongestionApproximator {
         assert_eq!(rows.len(), self.num_rows(), "row buffer length mismatch");
         let n = self.num_nodes;
         scratch.ensure_tree_major(self.trees.len(), n, false);
-        let tasks: Vec<(&CapacitatedTree, &mut [f64], &mut [f64])> = self
-            .trees
+        let tasks: Vec<(&TreeSlots, &mut [f64], &mut [f64])> = self
+            .slots
             .iter()
             .zip(rows.chunks_mut(n))
             .zip(scratch.tree_a.chunks_mut(n))
-            .map(|((t, out), tmp)| (t, out, tmp))
+            .map(|((slots, out), tmp)| (slots, out, tmp))
             .collect();
-        par.for_each_owned(tasks, |_, (t, out, tmp)| {
-            t.tree.subtree_sums_into(b.values(), tmp);
-            for ((r, &sum), &cap) in out.iter_mut().zip(tmp.iter()).zip(&t.cut_capacity) {
-                *r = if cap > 0.0 { sum / cap } else { 0.0 };
-            }
+        par.for_each_owned(tasks, |_, (slots, out, tmp)| {
+            slots.apply_rows(b.values(), tmp, out);
         });
         Ok(())
     }
@@ -366,23 +504,13 @@ impl CongestionApproximator {
         );
         potentials.fill(0.0);
         scratch.ensure_nodes(self.num_nodes);
-        for (t_index, t) in self.trees.iter().enumerate() {
-            // Per-node price of the row indexed by this node's parent edge,
+        for (slots, y_rows) in self.slots.iter().zip(y.chunks(self.num_nodes)) {
+            // Per-slot price of the row indexed by this slot's parent edge,
             // already scaled by the cut capacity.
-            for v in 0..self.num_nodes {
-                let cap = t.cut_capacity[v];
-                scratch.node_a[v] = if cap > 0.0 {
-                    y[t_index * self.num_nodes + v] / cap
-                } else {
-                    0.0
-                };
-            }
+            slots.prices_to_slots(y_rows, &mut scratch.node_a);
             // π contribution of this tree: sum of prices along the root path.
-            t.tree
-                .prefix_sums_from_root_into(&scratch.node_a, &mut scratch.node_b);
-            for (p, &prefix) in potentials.iter_mut().zip(&scratch.node_b) {
-                *p += prefix;
-            }
+            slots.prefix_sums_in_slots(&scratch.node_a, &mut scratch.node_b);
+            slots.add_potentials_from_slots(&scratch.node_b, potentials);
         }
         Ok(())
     }
@@ -424,38 +552,31 @@ impl CongestionApproximator {
         let n = self.num_nodes;
         scratch.ensure_tree_major(self.trees.len(), n, true);
         struct TransposeTask<'a> {
-            tree: &'a CapacitatedTree,
+            slots: &'a TreeSlots,
             y_rows: &'a [f64],
             prices: &'a mut [f64],
             prefix: &'a mut [f64],
         }
         let tasks: Vec<TransposeTask<'_>> = self
-            .trees
+            .slots
             .iter()
             .zip(y.chunks(n))
             .zip(scratch.tree_a.chunks_mut(n))
             .zip(scratch.tree_b.chunks_mut(n))
-            .map(|(((tree, y_rows), prices), prefix)| TransposeTask {
-                tree,
+            .map(|(((slots, y_rows), prices), prefix)| TransposeTask {
+                slots,
                 y_rows,
                 prices,
                 prefix,
             })
             .collect();
         par.for_each_owned(tasks, |_, task| {
-            for v in 0..n {
-                let cap = task.tree.cut_capacity[v];
-                task.prices[v] = if cap > 0.0 { task.y_rows[v] / cap } else { 0.0 };
-            }
-            task.tree
-                .tree
-                .prefix_sums_from_root_into(task.prices, task.prefix);
+            task.slots.prices_to_slots(task.y_rows, task.prices);
+            task.slots.prefix_sums_in_slots(task.prices, task.prefix);
         });
         potentials.fill(0.0);
-        for prefix in scratch.tree_b.chunks(n) {
-            for (p, &x) in potentials.iter_mut().zip(prefix) {
-                *p += x;
-            }
+        for (slots, prefix) in self.slots.iter().zip(scratch.tree_b.chunks(n)) {
+            slots.add_potentials_from_slots(prefix, potentials);
         }
         Ok(())
     }
@@ -681,6 +802,29 @@ mod tests {
                 actual: 3
             })
         );
+    }
+
+    #[test]
+    fn empty_ensemble_is_rejected_not_vacuous() {
+        // Regression: an empty ensemble used to silently produce a 0-node,
+        // 0-row approximator whose every answer (`apply`, lower bounds) was
+        // a vacuous zero. It must be a configuration error instead.
+        let empty = TreeEnsemble {
+            trees: Vec::new(),
+            stats: crate::racke::EnsembleStats {
+                num_trees: 0,
+                max_rloads: Vec::new(),
+                decomposition_rounds: 0,
+                average_stretches: Vec::new(),
+            },
+        };
+        assert!(matches!(
+            CongestionApproximator::from_ensemble(empty),
+            Err(GraphError::InvalidConfig {
+                parameter: "ensemble",
+                ..
+            })
+        ));
     }
 
     #[test]

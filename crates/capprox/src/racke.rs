@@ -9,7 +9,7 @@
 //! capacitated trees is exactly what Lemma 3.3 needs: `O(log n)` samples from
 //! a cut-preserving tree distribution.
 
-use flowgraph::{EdgeId, Graph, GraphError, NodeId, RootedTree};
+use flowgraph::{Demand, EdgeId, Graph, GraphError, NodeId, RootedTree};
 use lowstretch::{low_stretch_spanning_tree, LowStretchConfig};
 use serde::{Deserialize, Serialize};
 
@@ -100,6 +100,10 @@ pub struct RackeConfig {
     pub seed: u64,
     /// Class growth factor handed to the low-stretch construction.
     pub lowstretch_z: f64,
+    /// Empirical quality target for ensemble trimming; `None` (the default)
+    /// always builds the full schedule. See
+    /// [`RackeConfig::with_target_quality`].
+    pub target_quality: Option<f64>,
 }
 
 impl Default for RackeConfig {
@@ -109,6 +113,7 @@ impl Default for RackeConfig {
             mwu_step: 0.5,
             seed: 0,
             lowstretch_z: 32.0,
+            target_quality: None,
         }
     }
 }
@@ -125,6 +130,44 @@ impl RackeConfig {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables empirical ensemble trimming: stop sampling trees as soon as
+    /// the ensemble's *measured* approximation factor on a deterministic set
+    /// of seeded probe demands drops to `quality` or below, instead of always
+    /// building the full `O(log n)` schedule.
+    ///
+    /// The measured factor of a probe demand `b` is
+    /// `min_T congestion(route b on T) / ‖Rb‖_∞` — best tree-routing upper
+    /// bound over the rows' lower bound — which is exactly the factor by
+    /// which the prefix ensemble brackets `opt(b)`. Because each tree only
+    /// depends on the lengths produced by *earlier* trees, the trimmed
+    /// ensemble is a prefix of the untrimmed one: trimming never changes the
+    /// trees, only how many are built, and every certificate the solver emits
+    /// (value / upper-bound bracket) remains valid for any prefix.
+    ///
+    /// `quality` below `1.0` can never be met (the bracket contains `opt`),
+    /// so the full schedule is built; the solver-level configuration
+    /// validation rejects such values up front.
+    ///
+    /// ```
+    /// use capprox::{build_tree_ensemble, RackeConfig};
+    /// use flowgraph::gen;
+    ///
+    /// let g = gen::fat_tree(8, 4, 10, 10.0, 40.0);
+    /// let full = build_tree_ensemble(&g, &RackeConfig::default()).unwrap();
+    /// let trimmed =
+    ///     build_tree_ensemble(&g, &RackeConfig::default().with_target_quality(1.5)).unwrap();
+    /// // Trimming builds a prefix: never more trees, often far fewer.
+    /// assert!(trimmed.trees.len() <= full.trees.len());
+    /// for (a, b) in trimmed.stats.max_rloads.iter().zip(&full.stats.max_rloads) {
+    ///     assert_eq!(a, b);
+    /// }
+    /// ```
+    #[must_use]
+    pub fn with_target_quality(mut self, quality: f64) -> Self {
+        self.target_quality = Some(quality);
         self
     }
 }
@@ -154,9 +197,102 @@ pub struct TreeEnsemble {
     pub stats: EnsembleStats,
 }
 
+/// One probe demand of the empirical trimming rule, with the incrementally
+/// maintained congestion bracket of the ensemble prefix built so far.
+struct QualityProbe {
+    demand: Demand,
+    /// `‖Rb‖_∞` of the prefix: max over (tree, cut) rows seen so far.
+    lower: f64,
+    /// Best single-tree routing congestion over the trees seen so far.
+    upper: f64,
+}
+
+impl QualityProbe {
+    /// Folds one freshly built tree into the bracket. `sums` is node-sized
+    /// scratch for the subtree aggregation.
+    fn absorb(&mut self, g: &Graph, tree: &CapacitatedTree, sums: &mut [f64]) {
+        tree.tree.subtree_sums_into(self.demand.values(), sums);
+        let mut rows_max = 0.0f64;
+        for (&s, &c) in sums.iter().zip(&tree.cut_capacity) {
+            if c > 0.0 {
+                rows_max = rows_max.max((s / c).abs());
+            }
+        }
+        self.lower = self.lower.max(rows_max);
+        self.upper = self
+            .upper
+            .min(tree.tree_routing_congestion(g, &self.demand));
+    }
+
+    /// The measured approximation factor of the prefix on this probe.
+    fn alpha(&self) -> f64 {
+        if self.lower > 0.0 {
+            self.upper / self.lower
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The deterministic probe demands the trimming rule scores an ensemble
+/// prefix on: the extreme-weighted-degree pair (stressing the most imbalanced
+/// cut) plus seeded s–t pairs drawn with a splitmix64 generator, so the same
+/// `(graph, seed)` always probes the same demands.
+fn quality_probes(g: &Graph, seed: u64) -> Vec<QualityProbe> {
+    let n = g.num_nodes();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut heaviest = NodeId(0);
+    let mut lightest = NodeId(0);
+    for v in g.nodes() {
+        if g.weighted_degree(v) > g.weighted_degree(heaviest) {
+            heaviest = v;
+        }
+        if g.weighted_degree(v) < g.weighted_degree(lightest) {
+            lightest = v;
+        }
+    }
+    if heaviest != lightest {
+        pairs.push((heaviest.index() as u32, lightest.index() as u32));
+    }
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for _ in 0..64 {
+        if pairs.len() >= 6 {
+            break;
+        }
+        let s = (next() % n as u64) as u32;
+        let t = (next() % n as u64) as u32;
+        if s != t && !pairs.contains(&(s, t)) {
+            pairs.push((s, t));
+        }
+    }
+    pairs
+        .into_iter()
+        .map(|(s, t)| QualityProbe {
+            demand: Demand::st(g, NodeId(s), NodeId(t), 1.0),
+            lower: 0.0,
+            upper: f64::INFINITY,
+        })
+        .collect()
+}
+
 /// Builds the tree ensemble for `g` using multiplicative weight updates over
 /// edge lengths (Räcke's construction, §2) with low average-stretch spanning
 /// trees as the subroutine (Theorem 3.1).
+///
+/// With [`RackeConfig::target_quality`] set, construction stops as soon as
+/// the prefix built so far measures at or below the target on the seeded
+/// probe demands — the trimmed ensemble is always a prefix of the untrimmed
+/// one.
 ///
 /// # Errors
 ///
@@ -171,6 +307,12 @@ pub fn build_tree_ensemble(g: &Graph, config: &RackeConfig) -> Result<TreeEnsemb
         .num_trees
         .unwrap_or_else(|| 2 * (n.max(2) as f64).log2().ceil() as usize + 1)
         .max(1);
+    // Trimming state: probes only exist when a (meetable) target is set.
+    let mut probes = match config.target_quality {
+        Some(q) if q >= 1.0 => quality_probes(g, config.seed),
+        _ => Vec::new(),
+    };
+    let mut probe_sums = vec![0.0; if probes.is_empty() { 0 } else { n }];
 
     // Initial lengths 1/cap: short = high capacity, so the first tree prefers
     // high-capacity edges.
@@ -208,6 +350,23 @@ pub fn build_tree_ensemble(g: &Graph, config: &RackeConfig) -> Result<TreeEnsemb
         }
         trees.push(cap_tree);
         stats.num_trees += 1;
+
+        // Empirical trimming: stop once every probe's measured bracket is
+        // within the target. The remaining trees of the schedule are exactly
+        // the ones an untrimmed build would add — never different ones — so
+        // stopping early only shrinks R, it never changes existing rows.
+        if !probes.is_empty() {
+            let target = config.target_quality.expect("probes imply a target");
+            let last = trees.last().expect("just pushed");
+            let mut worst = 0.0f64;
+            for probe in probes.iter_mut() {
+                probe.absorb(g, last, &mut probe_sums);
+                worst = worst.max(probe.alpha());
+            }
+            if worst <= target {
+                break;
+            }
+        }
     }
 
     Ok(TreeEnsemble { trees, stats })
@@ -333,6 +492,45 @@ mod tests {
         let ex = f.excess(&g);
         assert!((ex[0] + 2.0).abs() < 1e-9);
         assert!((ex[15] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trimmed_ensemble_is_a_prefix_of_the_untrimmed_one() {
+        let g = gen::fat_tree(8, 4, 10, 10.0, 40.0);
+        let full = build_tree_ensemble(&g, &RackeConfig::default().with_seed(3)).unwrap();
+        let trimmed = build_tree_ensemble(
+            &g,
+            &RackeConfig::default().with_seed(3).with_target_quality(1.5),
+        )
+        .unwrap();
+        assert!(trimmed.trees.len() <= full.trees.len());
+        assert!(!trimmed.trees.is_empty());
+        for (t, f) in trimmed.trees.iter().zip(&full.trees) {
+            assert_eq!(t.tree.graph_edges(), f.tree.graph_edges());
+            assert_eq!(t.cut_capacity, f.cut_capacity);
+        }
+        assert_eq!(
+            trimmed.stats.max_rloads,
+            full.stats.max_rloads[..trimmed.trees.len()]
+        );
+        // On a tree-like topology a handful of spanning trees already meet a
+        // modest target, so trimming must actually bite.
+        assert!(
+            trimmed.trees.len() < full.trees.len(),
+            "trimming did not reduce the {} trees",
+            full.trees.len()
+        );
+    }
+
+    #[test]
+    fn unreachable_target_quality_builds_the_full_schedule() {
+        let g = gen::grid(6, 6, 1.0);
+        let full = build_tree_ensemble(&g, &RackeConfig::default()).unwrap();
+        // A sub-1.0 target can never be met (the bracket contains opt), so
+        // the builder falls back to the full schedule instead of looping.
+        let sub_unit =
+            build_tree_ensemble(&g, &RackeConfig::default().with_target_quality(0.5)).unwrap();
+        assert_eq!(sub_unit.trees.len(), full.trees.len());
     }
 
     #[test]

@@ -30,6 +30,12 @@ pub struct AlmostRouteConfig {
     pub alpha: Option<f64>,
     /// Hard cap on the number of gradient iterations.
     pub max_iterations: usize,
+    /// Adaptive step-size scaling: grow the step while the potential keeps
+    /// decreasing, backtrack (restore the flow and halve the scale) when a
+    /// step overshoots. Off by default — the fixed `δ/(1+4α²)` schedule of
+    /// Algorithm 2 is byte-for-byte preserved when this is `false`.
+    #[serde(default)]
+    pub adaptive_steps: bool,
     /// Worker pool for the per-iteration operator evaluations (`R·b`, `Rᵀ·y`
     /// fan per-tree aggregations across threads). Purely a performance knob:
     /// results are byte-identical to sequential for any thread count.
@@ -45,6 +51,7 @@ impl Default for AlmostRouteConfig {
             epsilon: 0.5,
             alpha: None,
             max_iterations: 20_000,
+            adaptive_steps: false,
             parallelism: Parallelism::sequential(),
         }
     }
@@ -70,6 +77,14 @@ impl AlmostRouteConfig {
     #[must_use]
     pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Enables or disables adaptive step-size scaling (see
+    /// [`AlmostRouteConfig::adaptive_steps`]).
+    #[must_use]
+    pub fn with_adaptive_steps(mut self, adaptive_steps: bool) -> Self {
+        self.adaptive_steps = adaptive_steps;
         self
     }
 
@@ -104,6 +119,10 @@ pub struct AlmostRouteScratch {
     potentials: Vec<f64>,
     /// Gradient `∂φ/∂f`, one entry per edge.
     grad: Vec<f64>,
+    /// Pre-step snapshot of the flow, used by the adaptive-step backtracking
+    /// to undo an overshooting step. Only allocated when adaptive steps are
+    /// enabled.
+    flow_backup: Vec<f64>,
     /// Node-sized scratch borrowed by the operator evaluations.
     op: OperatorScratch,
 }
@@ -171,13 +190,92 @@ pub struct AlmostRouteResult {
     pub hit_iteration_cap: bool,
 }
 
+/// Branch-free `e^x` for `x ≤ 0`, accurate to ~1 ulp, written so the
+/// autovectorizer can chew on whole slices of arguments (no libm call, no
+/// data-dependent branches).
+///
+/// Standard Cody–Waite argument reduction `x = n·ln2 + r` with `|r| ≤ ln2/2`,
+/// a degree-13 Taylor polynomial for `e^r` (truncation error < 5e-18 on that
+/// interval), and a branch-free reconstruction of `2^n` as the product of two
+/// half-exponent powers so that results in the subnormal range (down to
+/// `x ≈ -745`) underflow gradually instead of needing a slow path. Inputs
+/// below the underflow threshold round to `±0` through the same product.
+#[inline(always)]
+fn exp_nonpos(x: f64) -> f64 {
+    const LOG2_E: f64 = std::f64::consts::LOG2_E;
+    // The canonical Cody–Waite split of ln 2; the full published digits are
+    // kept even where they exceed f64 precision so the pair is recognizably
+    // the standard one.
+    #[allow(clippy::excessive_precision)]
+    const LN2_HI: f64 = 6.931_471_803_691_238_16e-1;
+    #[allow(clippy::excessive_precision)]
+    const LN2_LO: f64 = 1.908_214_929_270_587_70e-10;
+    // 1.5·2^52: adding it forces `x·log2(e)` to round to the nearest integer
+    // in the low mantissa bits (round-to-nearest-even, same as `round_ties_even`),
+    // without the data-dependent branch sequence `f64::round` lowers to.
+    const SHIFT: f64 = 6_755_399_441_055_744.0;
+    // Everything at or below -746 underflows to zero anyway; clamping keeps
+    // the shifted exponent in range branchlessly. (NaN also maps to the
+    // threshold — the potential is only evaluated on finite congestion.)
+    let x = x.max(-746.0);
+    let t = x * LOG2_E + SHIFT;
+    let n = t - SHIFT;
+    let r = (x - n * LN2_HI) - n * LN2_LO;
+    // e^r via Horner on the degree-13 Taylor expansion.
+    let mut p = 1.0 / 6_227_020_800.0; // 1/13!
+    p = p * r + 1.0 / 479_001_600.0; // 1/12!
+    p = p * r + 1.0 / 39_916_800.0; // 1/11!
+    p = p * r + 1.0 / 3_628_800.0; // 1/10!
+    p = p * r + 1.0 / 362_880.0; // 1/9!
+    p = p * r + 1.0 / 40_320.0; // 1/8!
+    p = p * r + 1.0 / 5_040.0; // 1/7!
+    p = p * r + 1.0 / 720.0; // 1/6!
+    p = p * r + 1.0 / 120.0; // 1/5!
+    p = p * r + 1.0 / 24.0; // 1/4!
+    p = p * r + 1.0 / 6.0; // 1/3!
+    p = p * r + 0.5;
+    p = p * r + 1.0;
+    p = p * r + 1.0;
+    // `t` lives in [2^52, 2^53), so its mantissa field is exactly `2^51 + n`;
+    // extract n without a float→int conversion instruction.
+    let n = (t.to_bits() & 0x000F_FFFF_FFFF_FFFF) as i64 - (1i64 << 51);
+    // 2^n = 2^(n/2) · 2^(n - n/2): each half exponent is ≥ -1022, so both
+    // factors are normal and the product underflows gradually.
+    let half = n >> 1;
+    let pow2 = |e: i64| f64::from_bits(((e + 1023) as u64) << 52);
+    p * pow2(half) * pow2(n - half)
+}
+
 /// Numerically stable soft-max `ln Σ_i (e^{y_i} + e^{-y_i})`.
+///
+/// # Empty input
+///
+/// `smax(&[])` returns `0.0` as a sentinel. The paper's potential
+/// `ln Σ_i e^{±y_i}` is **undefined** over an empty congestion vector (the
+/// sum is empty, so the logarithm diverges); an empty row or edge vector can
+/// only arise from a graph with no edges, which every solver entry point
+/// rejects with [`flowgraph::GraphError::NoEdges`] before the potential is
+/// ever evaluated. The sentinel exists so this low-level helper stays total;
+/// do not build new callers that rely on it.
 pub fn smax(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
     let m = values.iter().fold(0.0f64, |acc, &y| acc.max(y.abs()));
-    let sum: f64 = values.iter().map(|&y| (y - m).exp() + (-y - m).exp()).sum();
+    // Four independent accumulators so the exponential pass is not serialized
+    // behind one floating-point add chain (and can be vectorized).
+    let mut acc = [0.0f64; 4];
+    let mut chunks = values.chunks_exact(4);
+    for c in &mut chunks {
+        acc[0] += exp_nonpos(c[0] - m) + exp_nonpos(-c[0] - m);
+        acc[1] += exp_nonpos(c[1] - m) + exp_nonpos(-c[1] - m);
+        acc[2] += exp_nonpos(c[2] - m) + exp_nonpos(-c[2] - m);
+        acc[3] += exp_nonpos(c[3] - m) + exp_nonpos(-c[3] - m);
+    }
+    for &y in chunks.remainder() {
+        acc[0] += exp_nonpos(y - m) + exp_nonpos(-y - m);
+    }
+    let sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
     m + sum.ln()
 }
 
@@ -198,8 +296,54 @@ pub fn smax_weights(values: &[f64], smax_value: f64) -> Vec<f64> {
 pub fn smax_weights_into(values: &[f64], smax_value: f64, out: &mut [f64]) {
     assert_eq!(out.len(), values.len(), "weight buffer length mismatch");
     for (w, &y) in out.iter_mut().zip(values) {
-        *w = (y - smax_value).exp() - (-y - smax_value).exp();
+        *w = exp_nonpos(y - smax_value) - exp_nonpos(-y - smax_value);
     }
+}
+
+/// Fused soft-max + gradient weights: computes `smax(values)` and writes the
+/// normalized weights `(e^{y_i} − e^{-y_i}) / Σ_j (e^{y_j} + e^{-y_j})` into
+/// `out` in a single pass over the exponentials.
+///
+/// Where [`smax`] followed by [`smax_weights_into`] evaluates four
+/// exponentials per entry, the fused form evaluates two: with
+/// `m = max_i |y_i|`, each `e^{±y_i - m}` is computed once, the weight is the
+/// scaled difference `(e1 − e2) / sum`, and the soft-max is `m + ln(sum)`.
+/// This is the gradient descent's hot path — the row vector has
+/// `trees × nodes` entries and is re-weighted on every potential evaluation.
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.len()`.
+pub fn smax_and_weights_into(values: &[f64], out: &mut [f64]) -> f64 {
+    assert_eq!(out.len(), values.len(), "weight buffer length mismatch");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = values.iter().fold(0.0f64, |acc, &y| acc.max(y.abs()));
+    // Same split-accumulator trick as [`smax`]: the weight store has no loop
+    // dependence, and the sum is spread over four chains.
+    let mut acc = [0.0f64; 4];
+    let mut vchunks = values.chunks_exact(4);
+    let mut wchunks = out.chunks_exact_mut(4);
+    for (c, w) in (&mut vchunks).zip(&mut wchunks) {
+        for lane in 0..4 {
+            let e1 = exp_nonpos(c[lane] - m);
+            let e2 = exp_nonpos(-c[lane] - m);
+            acc[lane] += e1 + e2;
+            w[lane] = e1 - e2;
+        }
+    }
+    for (&y, w) in vchunks.remainder().iter().zip(wchunks.into_remainder()) {
+        let e1 = exp_nonpos(y - m);
+        let e2 = exp_nonpos(-y - m);
+        acc[0] += e1 + e2;
+        *w = e1 - e2;
+    }
+    let sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for w in out.iter_mut() {
+        *w /= sum;
+    }
+    m + sum.ln()
 }
 
 /// Runs Algorithm 2 for the demand `b` on graph `g` with congestion
@@ -238,6 +382,35 @@ pub fn almost_route_with(
     config: &AlmostRouteConfig,
     scratch: &mut AlmostRouteScratch,
 ) -> AlmostRouteResult {
+    almost_route_warm_with(g, r, b, config, scratch, None)
+}
+
+/// [`almost_route_with`] with an optional warm-start flow.
+///
+/// `warm` is a flow in the scale of the input demand `b` — typically a
+/// previous query's answer for the same (or reversed) terminal pair, rescaled
+/// to the new target. The descent starts from that flow instead of zero: the
+/// demand term of the potential then starts near its minimum, so queries
+/// whose answer is close to the warm flow converge in a handful of
+/// iterations. Any flow is a valid starting point (the descent converges from
+/// anywhere); a bad one merely wastes the head start.
+///
+/// With `warm = None` this is **byte-for-byte identical** to
+/// [`almost_route_with`] — the cold-start path executes exactly the same
+/// floating-point operations.
+///
+/// # Panics
+///
+/// Panics if `b` does not match the graph's node count, or if `warm` does not
+/// match the graph's edge count.
+pub fn almost_route_warm_with(
+    g: &Graph,
+    r: &CongestionApproximator,
+    b: &Demand,
+    config: &AlmostRouteConfig,
+    scratch: &mut AlmostRouteScratch,
+    warm: Option<&FlowVec>,
+) -> AlmostRouteResult {
     assert_eq!(b.len(), g.num_nodes(), "demand length mismatch");
     scratch.ensure(g, r);
     let n = g.num_nodes().max(2) as f64;
@@ -275,25 +448,84 @@ pub fn almost_route_with(
     b_work.scale(kb);
     let mut total_scale = kb;
 
-    let mut f = FlowVec::zeros(m);
+    // Warm start: begin the descent at the supplied flow (brought into the
+    // working scale) instead of zero.
+    let mut f = match warm {
+        Some(w) => {
+            assert_eq!(w.len(), m, "warm-start flow length mismatch");
+            let mut f = w.clone();
+            f.scale(kb);
+            f
+        }
+        None => FlowVec::zeros(m),
+    };
     let mut iterations = 0usize;
     let mut scaling_steps = 0usize;
     #[allow(unused_assignments)]
     let mut potential = 0.0;
     let mut hit_cap = false;
 
+    // Adaptive step-size state. `step_scale` stays exactly 1.0 when the knob
+    // is off, and `x * 1.0` is an IEEE-754 identity, so the disabled path is
+    // byte-identical to the fixed schedule.
+    let adaptive = config.adaptive_steps;
+    let mut step_scale = 1.0f64;
+    let mut last_accepted: Option<f64> = None;
+
     loop {
         // Evaluate the potential and its gradient into the scratch buffers.
         let phi =
             potential_and_gradient_scratch(g, r, &b_work, &f, alpha, scratch, &config.parallelism);
+
+        // Backtracking: if the last adaptive step overshot (the potential
+        // went up), undo it and retry from the snapshot with half the scale.
+        if adaptive {
+            if let Some(prev) = last_accepted {
+                if phi > prev {
+                    f.values_mut().copy_from_slice(&scratch.flow_backup);
+                    step_scale = (step_scale * 0.5).max(1.0 / 1024.0);
+                    last_accepted = None;
+                    iterations += 1;
+                    if iterations >= config.max_iterations {
+                        potential = prev;
+                        hit_cap = true;
+                        break;
+                    }
+                    continue;
+                }
+            }
+        }
         potential = phi;
 
         // Lines 4–5: while φ(f) < 16 ε⁻¹ log n, scale f and b up by 17/16.
         if phi < target && scaling_steps < 10_000 {
+            // A warm start routes the demand almost exactly, so its potential
+            // begins far below the target and the one-step-per-evaluation
+            // schedule would burn one full gradient evaluation per 17/16
+            // factor. All potential arguments scale linearly with the flow
+            // and demand, so jump most of the remaining distance in a single
+            // multiplication (deliberately undershooting by one step) and let
+            // the regular steps finish; re-entering this branch jumps again,
+            // which converges in a handful of evaluations. Cold starts never
+            // take this path, keeping the fixed schedule byte-identical.
+            if warm.is_some() && phi.is_finite() && phi > 0.0 {
+                let jump = ((target / phi).ln() / (17.0f64 / 16.0).ln() - 1.0).floor();
+                let remaining = (10_000 - scaling_steps) as f64 - 1.0;
+                let jump = jump.min(remaining).max(0.0) as usize;
+                if jump > 0 {
+                    let factor = (17.0f64 / 16.0).powi(jump as i32);
+                    f.scale(factor);
+                    b_work.scale(factor);
+                    total_scale *= factor;
+                    scaling_steps += jump;
+                }
+            }
             f.scale(17.0 / 16.0);
             b_work.scale(17.0 / 16.0);
             total_scale *= 17.0 / 16.0;
             scaling_steps += 1;
+            // Rescaling moves the potential; the acceptance reference with it.
+            last_accepted = None;
             continue;
         }
 
@@ -311,8 +543,17 @@ pub fn almost_route_with(
             break;
         }
 
-        // Line 8: f_e ← f_e − sgn(∂φ/∂f_e) · cap(e) · δ / (1 + 4α²).
-        let step = delta / (1.0 + 4.0 * alpha * alpha);
+        // Line 8: f_e ← f_e − sgn(∂φ/∂f_e) · cap(e) · δ / (1 + 4α²),
+        // stretched by the adaptive scale when enabled.
+        let step = delta / (1.0 + 4.0 * alpha * alpha) * step_scale;
+        if adaptive {
+            if scratch.flow_backup.len() != m {
+                scratch.flow_backup.resize(m, 0.0);
+            }
+            scratch.flow_backup.copy_from_slice(f.values());
+            last_accepted = Some(phi);
+            step_scale = (step_scale * 1.25).min(8.0);
+        }
         for e in g.edge_ids() {
             let gd = scratch.grad[e.index()];
             if gd != 0.0 {
@@ -364,12 +605,11 @@ fn potential_and_gradient_scratch(
     scratch: &mut AlmostRouteScratch,
     par: &Parallelism,
 ) -> f64 {
-    // φ1 = smax(C⁻¹ f).
+    // φ1 = smax(C⁻¹ f), weights fused into the same exponential pass.
     for (x, e) in scratch.scaled_flow.iter_mut().zip(g.edge_ids()) {
         *x = f.get(e) / g.capacity(e);
     }
-    let phi1 = smax(&scratch.scaled_flow);
-    smax_weights_into(&scratch.scaled_flow, phi1, &mut scratch.w1);
+    let phi1 = smax_and_weights_into(&scratch.scaled_flow, &mut scratch.w1);
 
     // φ2 = smax(2α R (b − Bf)).
     b.residual_into(g, f, &mut scratch.residual);
@@ -380,11 +620,8 @@ fn potential_and_gradient_scratch(
     for y in scratch.rows.iter_mut() {
         *y *= 2.0 * alpha;
     }
-    let phi2 = smax(&scratch.rows);
-    smax_weights_into(&scratch.rows, phi2, &mut scratch.prices);
+    let phi2 = smax_and_weights_into(&scratch.rows, &mut scratch.prices);
     // Prices per row: q_i · 2α (the 1/cap_i factor is applied inside Rᵀ).
-    // `q * 2.0` is exact in IEEE-754, so the compound form rounds identically
-    // to the original `q * 2.0 * alpha`.
     for q in scratch.prices.iter_mut() {
         *q *= 2.0 * alpha;
     }

@@ -33,15 +33,20 @@ impl MaxFlowConfig {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"epsilon\":{},\"racke\":{{\"num_trees\":{},\"mwu_step\":{},\"seed\":{},\
-             \"lowstretch_z\":{}}},\"alpha\":{},\"max_iterations_per_phase\":{},\"phases\":{}}}",
+             \"lowstretch_z\":{},\"target_quality\":{}}},\"alpha\":{},\
+             \"max_iterations_per_phase\":{},\"phases\":{},\"warm_start\":{}}}",
             json_f64(self.epsilon),
             opt_usize(self.racke.num_trees),
             json_f64(self.racke.mwu_step),
             self.racke.seed,
             json_f64(self.racke.lowstretch_z),
+            self.racke
+                .target_quality
+                .map_or_else(|| "null".to_string(), json_f64),
             self.alpha.map_or_else(|| "null".to_string(), json_f64),
             self.max_iterations_per_phase,
             opt_usize(self.phases),
+            self.warm_start,
         )
     }
 
@@ -66,6 +71,7 @@ impl MaxFlowConfig {
                 "alpha" => config.alpha = p.opt_f64_value()?,
                 "max_iterations_per_phase" => config.max_iterations_per_phase = p.usize_value()?,
                 "phases" => config.phases = p.opt_usize_value()?,
+                "warm_start" => config.warm_start = p.bool_value()?,
                 "racke" => config.racke = parse_racke(&mut p)?,
                 "parallelism" => {
                     return Err(GraphError::InvalidConfig {
@@ -97,6 +103,7 @@ fn parse_racke(p: &mut Parser<'_>) -> Result<RackeConfig, GraphError> {
             "mwu_step" => racke.mwu_step = p.f64_value()?,
             "seed" => racke.seed = p.u64_value()?,
             "lowstretch_z" => racke.lowstretch_z = p.f64_value()?,
+            "target_quality" => racke.target_quality = p.opt_f64_value()?,
             _ => {
                 return Err(GraphError::InvalidConfig {
                     parameter: "json",
@@ -231,6 +238,14 @@ impl<'a> Parser<'a> {
 
     fn usize_value(&mut self) -> Result<usize, GraphError> {
         self.scalar()?.parse().map_err(|_| MALFORMED)
+    }
+
+    fn bool_value(&mut self) -> Result<bool, GraphError> {
+        match self.scalar()? {
+            "true" => Ok(true),
+            "false" => Ok(false),
+            _ => Err(MALFORMED),
+        }
     }
 
     fn opt_f64_value(&mut self) -> Result<Option<f64>, GraphError> {

@@ -22,7 +22,7 @@ use parallel::Parallelism;
 use crate::almost_route::AlmostRouteScratch;
 use crate::distributed::DistributedPlan;
 use crate::solver::{
-    max_flow_engine, route_demand_engine, MaxFlowConfig, MaxFlowResult, RoutingResult,
+    max_flow_engine, route_demand_engine, MaxFlowConfig, MaxFlowResult, RoutingResult, WarmCache,
 };
 
 /// A prepared max-flow solver session: the congestion approximator, repair
@@ -73,6 +73,9 @@ pub struct PreparedMaxFlow<'g> {
     /// Per-worker scratch buffers for [`Self::par_max_flow_batch`], grown
     /// lazily to the configured thread count and reused across batches.
     scratch_pool: Vec<AlmostRouteScratch>,
+    /// The last answered query, kept to warm-start the next one when
+    /// [`MaxFlowConfig::warm_start`] is enabled (always `None` otherwise).
+    warm_cache: Option<WarmCache>,
     pub(crate) plan: Option<DistributedPlan>,
 }
 
@@ -95,9 +98,15 @@ impl<'g> PreparedMaxFlow<'g> {
         if !graph.is_connected() {
             return Err(GraphError::NotConnected);
         }
+        if graph.num_edges() == 0 {
+            // A connected graph without edges is a single node; there is
+            // nothing to route and the gradient potential is undefined on an
+            // empty edge set (see `almost_route::smax`).
+            return Err(GraphError::NoEdges);
+        }
         let ensemble = build_tree_ensemble(graph, &config.racke)?;
         let ensemble_stats = ensemble.stats.clone();
-        let approximator = CongestionApproximator::from_ensemble(ensemble);
+        let approximator = CongestionApproximator::from_ensemble(ensemble)?;
         let repair_tree = max_weight_spanning_tree(graph, NodeId(0))?;
         let scratch = AlmostRouteScratch::for_instance(graph, &approximator);
         Ok(PreparedMaxFlow {
@@ -108,12 +117,17 @@ impl<'g> PreparedMaxFlow<'g> {
             repair_tree,
             scratch,
             scratch_pool: Vec::new(),
+            warm_cache: None,
             plan: None,
         })
     }
 
     /// Computes a `(1+ε)`-approximate maximum s–t flow using the prepared
     /// structures (Theorem 1.1, centralized execution).
+    ///
+    /// With [`MaxFlowConfig::warm_start`] enabled, the session additionally
+    /// remembers this query's routing and seeds the next query's descent with
+    /// it when the terminal pair repeats (in either orientation).
     ///
     /// # Errors
     ///
@@ -128,6 +142,7 @@ impl<'g> PreparedMaxFlow<'g> {
             t,
             &self.config,
             &mut self.scratch,
+            Some(&mut self.warm_cache),
         )
     }
 
@@ -172,7 +187,10 @@ impl<'g> PreparedMaxFlow<'g> {
         pairs: &[(NodeId, NodeId)],
     ) -> Result<Vec<MaxFlowResult>, GraphError> {
         let workers = self.config.parallelism.threads().min(pairs.len().max(1));
-        if workers <= 1 {
+        // Warm-started queries depend on the order earlier answers were
+        // produced in; fanning them across workers would make results depend
+        // on the stripe layout, so the batch runs sequentially instead.
+        if workers <= 1 || self.config.warm_start {
             return self.max_flow_batch(pairs);
         }
         let worker_config = self
@@ -203,6 +221,7 @@ impl<'g> PreparedMaxFlow<'g> {
                     t,
                     &worker_config,
                     scratch,
+                    None,
                 ) {
                     Ok(result) => mine.push((i, result)),
                     Err(err) => return Err((i, err)),
@@ -246,6 +265,7 @@ impl<'g> PreparedMaxFlow<'g> {
             b,
             &self.config,
             &mut self.scratch,
+            None,
         )
     }
 
@@ -464,6 +484,58 @@ mod tests {
             PreparedMaxFlow::prepare(&Graph::with_nodes(0), &config()),
             Err(GraphError::Empty)
         ));
+        // A single node is connected but edgeless: the potential `smax` would
+        // be evaluated over an empty vector, so it is rejected up front.
+        assert!(matches!(
+            PreparedMaxFlow::prepare(&Graph::with_nodes(1), &config()),
+            Err(GraphError::NoEdges)
+        ));
+    }
+
+    #[test]
+    fn warm_start_reuses_the_previous_answer_and_stays_certified() {
+        let g = gen::grid(5, 5, 1.0);
+        let cfg = config().with_warm_start(true);
+        let mut session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+        let cold = session.max_flow(NodeId(0), NodeId(24)).unwrap();
+        // Same pair again: the descent starts from the previous flow and
+        // terminates almost immediately, but the answer stays feasible and
+        // inside the certified bracket.
+        let warm = session.max_flow(NodeId(0), NodeId(24)).unwrap();
+        assert!(warm.iterations <= cold.iterations);
+        assert_eq!(warm.upper_bound.to_bits(), cold.upper_bound.to_bits());
+        let value = warm
+            .flow
+            .validate_st_flow(&g, NodeId(0), NodeId(24), 1e-6)
+            .unwrap();
+        assert!((value - warm.value).abs() < 1e-6 * (1.0 + value.abs()));
+        assert!(warm.value <= warm.upper_bound + 1e-9);
+        assert!(warm.value >= 0.9 * cold.value, "warm answer lost quality");
+        // The reversed pair warms from the negated flow.
+        let reversed = session.max_flow(NodeId(24), NodeId(0)).unwrap();
+        assert!(reversed.value > 0.0);
+        reversed
+            .flow
+            .validate_st_flow(&g, NodeId(24), NodeId(0), 1e-6)
+            .unwrap();
+    }
+
+    #[test]
+    fn warm_start_off_is_byte_identical_and_history_free() {
+        let g = gen::Family::Random.generate(24, 7);
+        let mut plain = PreparedMaxFlow::prepare(&g, &config()).unwrap();
+        let mut explicit_off =
+            PreparedMaxFlow::prepare(&g, &config().with_warm_start(false)).unwrap();
+        let a1 = plain.max_flow(NodeId(0), NodeId(23)).unwrap();
+        let a2 = plain.max_flow(NodeId(0), NodeId(23)).unwrap();
+        let b1 = explicit_off.max_flow(NodeId(0), NodeId(23)).unwrap();
+        // History-free: the repeat matches the first answer bit for bit, and
+        // the explicit-off session matches the default session.
+        assert_eq!(a1.value.to_bits(), a2.value.to_bits());
+        assert_eq!(bits(a1.flow.values()), bits(a2.flow.values()));
+        assert_eq!(a1.value.to_bits(), b1.value.to_bits());
+        assert_eq!(bits(a1.flow.values()), bits(b1.flow.values()));
+        assert_eq!(a1.iterations, b1.iterations);
     }
 
     #[test]

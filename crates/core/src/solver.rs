@@ -15,7 +15,43 @@ use flowgraph::{max_weight_spanning_tree, Demand, FlowVec, Graph, GraphError, No
 use parallel::Parallelism;
 use serde::{Deserialize, Serialize};
 
-use crate::almost_route::{almost_route_with, AlmostRouteConfig, AlmostRouteScratch};
+use crate::almost_route::{almost_route_warm_with, AlmostRouteConfig, AlmostRouteScratch};
+
+/// A session's memory of its last answered query, used to warm-start the next
+/// one when [`MaxFlowConfig::warm_start`] is enabled.
+///
+/// The cached flow routes `target · (χ_t − χ_s)` exactly (the residual was
+/// repaired on the spanning tree), so rescaling it to a new target — or
+/// negating it for the reversed pair — yields a starting point whose demand
+/// term of the potential is already near its minimum.
+#[derive(Debug, Clone)]
+pub(crate) struct WarmCache {
+    s: NodeId,
+    t: NodeId,
+    target: f64,
+    flow: FlowVec,
+}
+
+impl WarmCache {
+    /// The cached flow rescaled for a query `(s, t, target)`, or `None` if
+    /// the cache is for a different terminal pair.
+    fn scaled_for(&self, s: NodeId, t: NodeId, target: f64) -> Option<FlowVec> {
+        if !(self.target.is_finite() && self.target > 0.0) {
+            return None;
+        }
+        let ratio = target / self.target;
+        let signed_ratio = if (self.s, self.t) == (s, t) {
+            ratio
+        } else if (self.s, self.t) == (t, s) {
+            -ratio
+        } else {
+            return None;
+        };
+        let mut flow = self.flow.clone();
+        flow.scale(signed_ratio);
+        Some(flow)
+    }
+}
 
 /// Configuration for the approximate max-flow solver.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,6 +68,15 @@ pub struct MaxFlowConfig {
     /// Number of `AlmostRoute` phases (Algorithm 1 uses `log m + 1`; `None`
     /// selects exactly that).
     pub phases: Option<usize>,
+    /// Warm-start repeated session queries: a [`crate::PreparedMaxFlow`]
+    /// remembers its last answer and, when the next query asks about the same
+    /// (or reversed) terminal pair, starts the gradient descent from that
+    /// flow instead of zero — and lets the descent grow its step size
+    /// adaptively while the potential keeps decreasing. Defaults to **off**;
+    /// when off, every entry point is byte-identical to the history-free
+    /// solver. See [`MaxFlowConfig::with_warm_start`].
+    #[serde(default)]
+    pub warm_start: bool,
     /// Worker pool for the parallel execution paths: per-iteration operator
     /// evaluations inside a query and query fan-out in
     /// [`crate::PreparedMaxFlow::par_max_flow_batch`]. Strictly a performance
@@ -51,6 +96,7 @@ impl Default for MaxFlowConfig {
             alpha: None,
             max_iterations_per_phase: 5_000,
             phases: None,
+            warm_start: false,
             parallelism: Parallelism::sequential(),
         }
     }
@@ -101,6 +147,38 @@ impl MaxFlowConfig {
         self
     }
 
+    /// Enables or disables warm-started session queries.
+    ///
+    /// When enabled, a [`crate::PreparedMaxFlow`] session seeds each query's
+    /// gradient descent with its previous answer whenever the terminal pair
+    /// repeats (in either orientation, rescaled to the new target), and the
+    /// descent adapts its step size with backtracking. Answers then depend on
+    /// query history — still `(1+ε)`-approximate and certified by the same
+    /// `value ≤ maxflow ≤ upper_bound` bracket, but no longer byte-identical
+    /// to a fresh query. Leave it off (the default) when reproducibility
+    /// across query orders matters.
+    ///
+    /// ```
+    /// use flowgraph::{gen, NodeId};
+    /// use maxflow::{MaxFlowConfig, PreparedMaxFlow};
+    ///
+    /// let g = gen::grid(5, 5, 1.0);
+    /// let cfg = MaxFlowConfig::default().with_warm_start(true);
+    /// assert!(cfg.warm_start);
+    ///
+    /// let mut session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+    /// let cold = session.max_flow(NodeId(0), NodeId(24)).unwrap();
+    /// // The repeat starts from `cold.flow` and stays certified.
+    /// let warm = session.max_flow(NodeId(0), NodeId(24)).unwrap();
+    /// assert!(warm.value > 0.0 && warm.value <= warm.upper_bound + 1e-9);
+    /// assert_eq!(warm.upper_bound.to_bits(), cold.upper_bound.to_bits());
+    /// ```
+    #[must_use]
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
     /// Replaces the worker pool used by the parallel execution paths.
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
@@ -147,6 +225,14 @@ impl MaxFlowConfig {
                 return Err(GraphError::InvalidConfig {
                     parameter: "alpha",
                     reason: "must be a finite number > 0 (or None for the provable bound)",
+                });
+            }
+        }
+        if let Some(quality) = self.racke.target_quality {
+            if !quality.is_finite() || quality < 1.0 {
+                return Err(GraphError::InvalidConfig {
+                    parameter: "racke.target_quality",
+                    reason: "must be a finite number >= 1 (or None to keep the full schedule)",
                 });
             }
         }
@@ -221,6 +307,11 @@ pub fn route_demand(
     if g.num_nodes() == 0 {
         return Err(GraphError::Empty);
     }
+    if g.num_edges() == 0 {
+        // The soft-max potential is undefined over an empty edge set (see
+        // `almost_route::smax`); reject before the descent ever evaluates it.
+        return Err(GraphError::NoEdges);
+    }
     if b.len() != g.num_nodes() {
         return Err(GraphError::DemandMismatch {
             expected: g.num_nodes(),
@@ -229,12 +320,15 @@ pub fn route_demand(
     }
     let repair_tree = max_weight_spanning_tree(g, NodeId(0))?;
     let mut scratch = AlmostRouteScratch::default();
-    route_demand_engine(g, r, &repair_tree, b, config, &mut scratch)
+    route_demand_engine(g, r, &repair_tree, b, config, &mut scratch, None)
 }
 
 /// The shared routing engine behind [`route_demand`] and
 /// [`crate::PreparedMaxFlow::route`]: the repair tree and the gradient
-/// scratch are supplied by the caller, so a session amortizes both.
+/// scratch are supplied by the caller, so a session amortizes both. `warm`
+/// optionally seeds the first `AlmostRoute` phase (whose residual is `b`
+/// itself) with a previous flow; later phases route what the earlier ones
+/// left behind, for which no cached flow applies.
 pub(crate) fn route_demand_engine(
     g: &Graph,
     r: &CongestionApproximator,
@@ -242,6 +336,7 @@ pub(crate) fn route_demand_engine(
     b: &Demand,
     config: &MaxFlowConfig,
     scratch: &mut AlmostRouteScratch,
+    warm: Option<&FlowVec>,
 ) -> Result<RoutingResult, GraphError> {
     if b.len() != g.num_nodes() {
         return Err(GraphError::DemandMismatch {
@@ -263,6 +358,7 @@ pub(crate) fn route_demand_engine(
         epsilon: config.epsilon.min(0.5),
         alpha: config.alpha,
         max_iterations: config.max_iterations_per_phase,
+        adaptive_steps: config.warm_start,
         parallelism: config.parallelism,
     };
 
@@ -274,13 +370,17 @@ pub(crate) fn route_demand_engine(
     // exact tree repair contributes only a negligible amount of congestion,
     // so further AlmostRoute phases would be wasted work.
     let stop_norm = initial_norm * (config.epsilon * 1e-2).max(1e-6);
-    for _ in 0..phases {
-        let residual = b.residual(g, &total);
+    // One residual buffer for the whole query instead of a fresh allocation
+    // per phase.
+    let mut residual = Demand::zeros(g.num_nodes());
+    for phase in 0..phases {
+        b.residual_into(g, &total, &mut residual);
         let norm = scratch.congestion_lower_bound(r, &residual);
         if norm <= stop_norm {
             break;
         }
-        let ar = almost_route_with(g, r, &residual, &ar_config, scratch);
+        let phase_warm = if phase == 0 { warm } else { None };
+        let ar = almost_route_warm_with(g, r, &residual, &ar_config, scratch, phase_warm);
         iterations += ar.iterations;
         executed_phases += 1;
         total.add_assign(&ar.flow);
@@ -288,7 +388,7 @@ pub(crate) fn route_demand_engine(
 
     // Steps 5–6 of Algorithm 1: repair the remaining residual exactly on the
     // maximum-weight spanning tree.
-    let residual = b.residual(g, &total);
+    b.residual_into(g, &total, &mut residual);
     let repair = repair_tree.route_demand_on_graph(g, &residual)?;
     total.add_assign(&repair);
 
@@ -349,15 +449,24 @@ pub fn approx_max_flow_with(
     if !g.is_connected() {
         return Err(GraphError::NotConnected);
     }
+    if g.num_edges() == 0 {
+        return Err(GraphError::NoEdges);
+    }
     let repair_tree = max_weight_spanning_tree(g, NodeId(0))?;
     let mut scratch = AlmostRouteScratch::default();
-    max_flow_engine(g, r, &repair_tree, s, t, config, &mut scratch)
+    max_flow_engine(g, r, &repair_tree, s, t, config, &mut scratch, None)
 }
 
 /// The shared query engine behind [`approx_max_flow`],
 /// [`approx_max_flow_with`] and [`crate::PreparedMaxFlow::max_flow`]. The
 /// graph is assumed non-empty and connected (validated when the session is
 /// prepared); terminals are validated here, per query.
+///
+/// `warm_cache` is the session's previous-answer slot: read to seed the
+/// descent when [`MaxFlowConfig::warm_start`] is enabled and the terminal
+/// pair matches, written with this query's routing afterwards. One-shot
+/// callers pass `None` and behave history-free.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn max_flow_engine(
     g: &Graph,
     r: &CongestionApproximator,
@@ -366,6 +475,7 @@ pub(crate) fn max_flow_engine(
     t: NodeId,
     config: &MaxFlowConfig,
     scratch: &mut AlmostRouteScratch,
+    warm_cache: Option<&mut Option<WarmCache>>,
 ) -> Result<MaxFlowResult, GraphError> {
     for v in [s, t] {
         if v.index() >= g.num_nodes() {
@@ -396,7 +506,31 @@ pub(crate) fn max_flow_engine(
     let target = (1.0 / unit_congestion).min(degree_cut);
 
     let demand = Demand::st(g, s, t, target);
-    let routing = route_demand_engine(g, r, repair_tree, &demand, config, scratch)?;
+    let warm_flow = match (&warm_cache, config.warm_start) {
+        (Some(cache), true) => cache
+            .as_ref()
+            .and_then(|state| state.scaled_for(s, t, target)),
+        _ => None,
+    };
+    let routing = route_demand_engine(
+        g,
+        r,
+        repair_tree,
+        &demand,
+        config,
+        scratch,
+        warm_flow.as_ref(),
+    )?;
+    if config.warm_start {
+        if let Some(cache) = warm_cache {
+            *cache = Some(WarmCache {
+                s,
+                t,
+                target,
+                flow: routing.flow.clone(),
+            });
+        }
+    }
 
     // Scale down to feasibility. If the congestion is below 1 the flow is
     // already feasible and ships the full upper bound (then it is exactly
@@ -409,16 +543,26 @@ pub(crate) fn max_flow_engine(
     // Safety net: routing the unit demand over the best single tree of the
     // ensemble and scaling it to feasibility is another feasible flow; keep
     // whichever is better. This keeps the result sane even if the gradient
-    // descent was stopped early by the iteration cap.
-    let tree_congestion = r.congestion_upper_bound_par(g, &unit, &config.parallelism);
+    // descent was stopped early by the iteration cap. One pass computes each
+    // tree's routing congestion exactly once, tracking both the minimum (the
+    // certified congestion bound) and the first tree attaining it.
+    let mut tree_congestion = f64::INFINITY;
+    let mut best_tree = None;
+    for tree in r.trees() {
+        let c = tree.tree_routing_congestion(g, &unit);
+        tree_congestion = tree_congestion.min(c);
+        match best_tree {
+            // Strictly-less via `partial_cmp` rather than `c < best_c` so a
+            // NaN routing congestion (malformed capacities) can never
+            // displace a real one.
+            Some((_, best_c)) if c.partial_cmp(&best_c) != Some(std::cmp::Ordering::Less) => {}
+            _ => best_tree = Some((tree, c)),
+        }
+    }
     if tree_congestion.is_finite() && tree_congestion > 0.0 {
         let tree_value = 1.0 / tree_congestion;
         if tree_value > value {
-            if let Some(best) = r.trees().iter().min_by(|a, b| {
-                a.tree_routing_congestion(g, &unit)
-                    .partial_cmp(&b.tree_routing_congestion(g, &unit))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            }) {
+            if let Some((best, _)) = best_tree {
                 let mut tree_flow = best.tree.route_demand_on_graph(g, &unit)?;
                 tree_flow.scale(tree_value);
                 flow = tree_flow;

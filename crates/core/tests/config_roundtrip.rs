@@ -13,11 +13,13 @@ fn sample_config() -> MaxFlowConfig {
         .with_racke(
             RackeConfig::default()
                 .with_num_trees(6)
-                .with_seed(0xfeed_beef),
+                .with_seed(0xfeed_beef)
+                .with_target_quality(1.75),
         )
         .with_alpha(Some(3.5))
         .with_max_iterations_per_phase(1234)
         .with_phases(Some(4))
+        .with_warm_start(true)
         .with_parallelism(Parallelism::with_threads(8))
 }
 
@@ -45,6 +47,11 @@ fn round_trip_preserves_every_serialized_field() {
         config.max_iterations_per_phase
     );
     assert_eq!(restored.phases, config.phases);
+    assert_eq!(
+        restored.racke.target_quality.map(f64::to_bits),
+        config.racke.target_quality.map(f64::to_bits)
+    );
+    assert_eq!(restored.warm_start, config.warm_start);
     // A round-tripped valid config stays valid.
     restored.validate().unwrap();
 }
@@ -91,9 +98,14 @@ fn nulls_and_absent_fields_restore_defaults() {
     assert_eq!(restored.alpha, None);
     assert_eq!(restored.phases, None);
     assert_eq!(restored.racke.num_trees, None);
+    let trimless = MaxFlowConfig::from_json(r#"{"racke":{"target_quality":null}}"#).unwrap();
+    assert_eq!(trimless.racke.target_quality, None);
     // Absent fields mean "the default".
     let defaults = MaxFlowConfig::default();
+    assert!(!defaults.warm_start, "warm_start must default off");
+    assert_eq!(defaults.racke.target_quality, None);
     let sparse = MaxFlowConfig::from_json(r#"{"epsilon":0.5}"#).unwrap();
+    assert!(!sparse.warm_start);
     assert_eq!(
         sparse.max_iterations_per_phase,
         defaults.max_iterations_per_phase
@@ -145,6 +157,8 @@ fn malformed_documents_are_rejected() {
         r#"{"racke":{"unknown":1}}"#,
         r#"{"max_iterations_per_phase":-3}"#,
         r#"{"epsilon":0.1 "alpha":null}"#,
+        r#"{"warm_start":1}"#,
+        r#"{"warm_start":"yes"}"#,
     ] {
         assert!(
             MaxFlowConfig::from_json(bad).is_err(),
@@ -183,6 +197,21 @@ fn validate_rejects_every_invalid_config_arm() {
             "alpha",
             "finite",
         ),
+        (
+            base().with_racke(RackeConfig::default().with_target_quality(0.5)),
+            "racke.target_quality",
+            "finite",
+        ),
+        (
+            base().with_racke(RackeConfig::default().with_target_quality(f64::NAN)),
+            "racke.target_quality",
+            "finite",
+        ),
+        (
+            base().with_racke(RackeConfig::default().with_target_quality(f64::INFINITY)),
+            "racke.target_quality",
+            "finite",
+        ),
     ];
     for (config, parameter, reason_word) in cases {
         match config.validate() {
@@ -215,6 +244,8 @@ fn validate_rejects_every_invalid_config_arm() {
         base().with_epsilon(f64::MIN_POSITIVE),
         base().with_max_iterations_per_phase(1),
         base().with_phases(Some(1)),
+        base().with_racke(RackeConfig::default().with_target_quality(1.0)),
+        base().with_warm_start(false),
     ] {
         ok.validate().unwrap();
     }

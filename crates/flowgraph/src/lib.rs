@@ -86,6 +86,12 @@ pub enum GraphError {
     },
     /// The operation requires a non-empty graph.
     Empty,
+    /// The graph has nodes but no edges. Solvers reject this up front: with
+    /// an empty edge set the paper's soft-max potential
+    /// `ln Σ_i (e^{y_i} + e^{-y_i})` is an empty sum whose logarithm is
+    /// undefined (see `maxflow::almost_route::smax`), and no flow can route
+    /// anything anyway.
+    NoEdges,
     /// A demand / price vector did not match the dimension the operator was
     /// built for (demand entries per node, prices per operator row).
     DemandMismatch {
@@ -127,6 +133,7 @@ impl std::fmt::Display for GraphError {
             GraphError::NotConnected => write!(f, "graph is not connected"),
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
             GraphError::Empty => write!(f, "graph is empty"),
+            GraphError::NoEdges => write!(f, "graph has no edges"),
             GraphError::DemandMismatch { expected, actual } => {
                 write!(
                     f,

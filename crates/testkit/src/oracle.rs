@@ -33,6 +33,10 @@ pub struct OracleConfig {
     pub phases: usize,
     /// Seed for the congestion approximator's tree samples.
     pub seed: u64,
+    /// Empirical quality target for ensemble trimming
+    /// ([`RackeConfig::with_target_quality`]); `None` keeps the full
+    /// Lemma 3.3 schedule.
+    pub target_quality: Option<f64>,
 }
 
 impl Default for OracleConfig {
@@ -44,6 +48,7 @@ impl Default for OracleConfig {
             max_iterations_per_phase: 4_000,
             phases: 3,
             seed: 2,
+            target_quality: None,
         }
     }
 }
@@ -51,9 +56,13 @@ impl Default for OracleConfig {
 impl OracleConfig {
     /// The `MaxFlowConfig` this oracle run hands to the solver.
     pub fn solver_config(&self) -> MaxFlowConfig {
+        let mut racke = RackeConfig::default().with_seed(self.seed);
+        if let Some(quality) = self.target_quality {
+            racke = racke.with_target_quality(quality);
+        }
         MaxFlowConfig {
             epsilon: self.epsilon,
-            racke: RackeConfig::default().with_seed(self.seed),
+            racke,
             alpha: None,
             max_iterations_per_phase: self.max_iterations_per_phase,
             phases: Some(self.phases),

@@ -51,6 +51,29 @@ fn oracle_families_stay_bracketed_across_seeds() {
 }
 
 #[test]
+fn solver_stays_bracketed_over_trimmed_ensembles() {
+    // Ensemble trimming (`RackeConfig::with_target_quality`) may drop trees
+    // but never the certificate: the `(1 ± ε)`-style bracket against the
+    // exact optimum must survive an aggressively trimmed ensemble on every
+    // oracle family.
+    let config = OracleConfig {
+        target_quality: Some(1.5),
+        quality_slack: 0.25,
+        ..OracleConfig::default()
+    };
+    for inst in oracle_families(25, 7) {
+        let report = check_solver_against_exact(&inst, &config).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            report.ratio >= config.quality_floor() && report.ratio <= 1.0 + 1e-9,
+            "family {} over a trimmed ensemble: ratio {} outside [{}, 1]",
+            report.family,
+            report.ratio,
+            config.quality_floor()
+        );
+    }
+}
+
+#[test]
 fn exact_baselines_agree_on_all_oracle_families() {
     for inst in oracle_families(30, 5) {
         check_exact_baselines_agree(&inst, 1e-6).unwrap_or_else(|e| panic!("{e}"));
