@@ -64,7 +64,7 @@ impl DinicState {
         let csr = g.csr();
         let mut head_arcs = Vec::with_capacity(csr.num_slots());
         for u in g.nodes() {
-            for &(e, _) in csr.incident(u) {
+            for (e, _) in csr.incident(u) {
                 let a = 2 * e.index() + usize::from(g.edge(e).head == u);
                 head_arcs.push(a as u32);
             }

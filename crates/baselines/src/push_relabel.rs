@@ -95,7 +95,7 @@ pub fn max_flow(g: &Graph, s: NodeId, t: NodeId) -> Result<PushRelabelFlow, Grap
     label[s.index()] = n;
 
     // Saturate all edges out of the source.
-    for &(e, other) in g.incident(s) {
+    for (e, other) in g.incident(s) {
         let cap = g.capacity(e);
         res.push(g, e, s, cap);
         excess[other.index()] += cap;
@@ -122,7 +122,7 @@ pub fn max_flow(g: &Graph, s: NodeId, t: NodeId) -> Result<PushRelabelFlow, Grap
         while excess[u.index()] > 1e-12 {
             // Try to push to an admissible neighbor.
             let mut pushed = false;
-            for &(e, v) in g.incident(u) {
+            for (e, v) in g.incident(u) {
                 let r = res.residual_from(g, e, u);
                 if r <= 1e-12 {
                     continue;
@@ -151,8 +151,8 @@ pub fn max_flow(g: &Graph, s: NodeId, t: NodeId) -> Result<PushRelabelFlow, Grap
                 let min_label = g
                     .incident(u)
                     .iter()
-                    .filter(|&&(e, _)| res.residual_from(g, e, u) > 1e-12)
-                    .map(|&(_, v)| label[v.index()])
+                    .filter(|&(e, _)| res.residual_from(g, e, u) > 1e-12)
+                    .map(|(_, v)| label[v.index()])
                     .min();
                 match min_label {
                     Some(l) => {
@@ -205,7 +205,7 @@ pub fn distributed_max_flow(
     label[s.index()] = n;
     let mut messages = 0u64;
 
-    for &(e, other) in g.incident(s) {
+    for (e, other) in g.incident(s) {
         let cap = g.capacity(e);
         res.push(g, e, s, cap);
         excess[other.index()] += cap;
@@ -232,7 +232,7 @@ pub fn distributed_max_flow(
         let mut relabels: Vec<(NodeId, usize)> = Vec::new();
         for &u in &active {
             let mut best: Option<(flowgraph::EdgeId, f64)> = None;
-            for &(e, v) in g.incident(u) {
+            for (e, v) in g.incident(u) {
                 let r = res.residual_from(g, e, u);
                 if r <= 1e-12 {
                     continue;
@@ -248,8 +248,8 @@ pub fn distributed_max_flow(
                     let min_label = g
                         .incident(u)
                         .iter()
-                        .filter(|&&(e, _)| res.residual_from(g, e, u) > 1e-12)
-                        .map(|&(_, v)| label_snapshot[v.index()])
+                        .filter(|&(e, _)| res.residual_from(g, e, u) > 1e-12)
+                        .map(|(_, v)| label_snapshot[v.index()])
                         .min();
                     if let Some(l) = min_label {
                         relabels.push((u, l + 1));

@@ -39,6 +39,7 @@ use flowgraph::{Demand, Graph, GraphError};
 use parallel::Parallelism;
 use serde::{Deserialize, Serialize};
 
+use crate::hierarchy::{build_hierarchical_ensemble, HierarchyConfig, HierarchyStats};
 use crate::racke::{build_tree_ensemble, CapacitatedTree, RackeConfig, TreeEnsemble};
 
 /// A congestion approximator built from an ensemble of capacitated spanning
@@ -49,6 +50,10 @@ pub struct CongestionApproximator {
     /// One flattened slot view per tree, same order as `trees`.
     slots: Vec<TreeSlots>,
     num_nodes: usize,
+    /// Per-level quality bookkeeping when the ensemble came from the
+    /// recursive hierarchy ([`Self::build_hierarchical`]); `None` for direct
+    /// builds.
+    hierarchy: Option<HierarchyStats>,
 }
 
 /// Flattened, level-ordered view of one capacitated tree (see the module
@@ -265,7 +270,23 @@ impl CongestionApproximator {
             trees: ensemble.trees,
             slots,
             num_nodes,
+            hierarchy: None,
         })
+    }
+
+    /// [`Self::from_ensemble`] with the hierarchy's per-level quality
+    /// bookkeeping attached (retrievable via [`Self::hierarchy_stats`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::from_ensemble`].
+    pub fn from_ensemble_with_hierarchy(
+        ensemble: TreeEnsemble,
+        stats: HierarchyStats,
+    ) -> Result<Self, GraphError> {
+        let mut approx = Self::from_ensemble(ensemble)?;
+        approx.hierarchy = Some(stats);
+        Ok(approx)
     }
 
     /// Builds the approximator for `g` by constructing a Räcke-style tree
@@ -276,6 +297,50 @@ impl CongestionApproximator {
     /// Propagates construction errors for empty or disconnected graphs.
     pub fn build(g: &Graph, config: &RackeConfig) -> Result<Self, GraphError> {
         Self::from_ensemble(build_tree_ensemble(g, config)?)
+    }
+
+    /// Builds the approximator through the recursive j-tree hierarchy of
+    /// Theorem 8.10 (see [`crate::hierarchy`]) — the scalable counterpart of
+    /// [`Self::build`] for million-node graphs. The lifted trees are genuine
+    /// capacitated spanning trees of `g`, so every certificate and operator
+    /// behaves exactly as for a direct build; the hierarchy's per-level
+    /// bookkeeping is available via [`Self::hierarchy_stats`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use capprox::{CongestionApproximator, HierarchyConfig, RackeConfig};
+    /// use flowgraph::{gen, Demand, NodeId};
+    ///
+    /// let g = gen::grid(20, 20, 1.0);
+    /// let r = CongestionApproximator::build_hierarchical(
+    ///     &g,
+    ///     &HierarchyConfig::default().with_direct_threshold(64),
+    ///     &RackeConfig::default().with_num_trees(2),
+    /// )
+    /// .unwrap();
+    /// let b = Demand::st(&g, NodeId(0), NodeId(399), 1.0);
+    /// assert!(r.congestion_lower_bound(&b) <= r.congestion_upper_bound(&g, &b));
+    /// assert!(r.hierarchy_stats().unwrap().num_levels() >= 1);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and construction errors from
+    /// [`build_hierarchical_ensemble`].
+    pub fn build_hierarchical(
+        g: &Graph,
+        hierarchy: &HierarchyConfig,
+        racke: &RackeConfig,
+    ) -> Result<Self, GraphError> {
+        let (ensemble, stats) = build_hierarchical_ensemble(g, hierarchy, racke)?;
+        Self::from_ensemble_with_hierarchy(ensemble, stats)
+    }
+
+    /// Per-level quality bookkeeping of the hierarchical construction, or
+    /// `None` when the ensemble was built directly.
+    pub fn hierarchy_stats(&self) -> Option<&HierarchyStats> {
+        self.hierarchy.as_ref()
     }
 
     /// The trees backing the approximator.

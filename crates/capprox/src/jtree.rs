@@ -81,13 +81,40 @@ impl JTree {
 ///
 /// Panics if `j == 0`.
 pub fn build_jtree(g: &Graph, tree: &CapacitatedTree, j: usize) -> JTree {
+    // Step 1: pick F = the most loaded tree edges, at most j of them, using
+    // the geometric load classes of §4 step 3.
+    assemble_jtree(g, tree, j, select_high_load_edges(tree, j))
+}
+
+/// [`build_jtree`] with `F` chosen as *exactly* the `min(j, n−1)` most loaded
+/// tree edges instead of the geometric class rule.
+///
+/// The class rule can legitimately select an empty `F` (when the heaviest
+/// class is already large), which collapses the whole graph into a single
+/// component — fine for a one-shot decomposition, fatal for the recursion of
+/// Theorem 8.10 that needs every level to shrink by `≈ β`, no more, no less.
+/// The recursive hierarchy therefore uses this variant: with `|F| = j` the
+/// core has between `j + 1` and `4j + 1` portals, giving the predictable
+/// per-level geometry the recursion is built on.
+///
+/// # Panics
+///
+/// Panics if `j == 0`.
+pub fn build_jtree_top_loaded(g: &Graph, tree: &CapacitatedTree, j: usize) -> JTree {
+    assemble_jtree(g, tree, j, select_top_loaded_edges(tree, j))
+}
+
+/// Steps 2–8 of the construction, shared by both `F` selection rules.
+fn assemble_jtree(
+    g: &Graph,
+    tree: &CapacitatedTree,
+    j: usize,
+    removed_high_load: Vec<NodeId>,
+) -> JTree {
     assert!(j >= 1, "j must be at least 1");
     let n = g.num_nodes();
     let root = tree.tree.root();
 
-    // Step 1: pick F = the most loaded tree edges, at most j of them, using
-    // the geometric load classes of §4 step 3.
-    let removed_high_load = select_high_load_edges(tree, j);
     let mut removed = vec![false; n];
     for &v in &removed_high_load {
         removed[v.index()] = true;
@@ -131,7 +158,7 @@ pub fn build_jtree(g: &Graph, tree: &CapacitatedTree, j: usize) -> JTree {
             continue;
         }
         in_skeleton[v.index()] = false;
-        for &(_, w) in adj.incident(v) {
+        for (_, w) in adj.incident(v) {
             if in_skeleton[w.index()] {
                 degree[w.index()] -= 1;
                 if degree[w.index()] <= 1 && !is_portal[w.index()] {
@@ -164,7 +191,7 @@ pub fn build_jtree(g: &Graph, tree: &CapacitatedTree, j: usize) -> JTree {
             if !in_skeleton[start.index()] || !is_portal[start.index()] {
                 continue;
             }
-            for &(_, nb) in adj.incident(start) {
+            for (_, nb) in adj.incident(start) {
                 if !in_skeleton[nb.index()] || visited[nb.index()] && is_portal[nb.index()] {
                     continue;
                 }
@@ -199,7 +226,7 @@ pub fn build_jtree(g: &Graph, tree: &CapacitatedTree, j: usize) -> JTree {
                     let next = adj
                         .incident(cur)
                         .iter()
-                        .map(|&(_, w)| w)
+                        .map(|(_, w)| w)
                         .find(|&w| w != prev && in_skeleton[w.index()]);
                     match next {
                         Some(w) => {
@@ -340,6 +367,24 @@ fn select_high_load_edges(tree: &CapacitatedTree, j: usize) -> Vec<NodeId> {
         .collect();
     f.truncate(j);
     f
+}
+
+/// Selects exactly the `min(j, n−1)` most loaded tree edges (the `F` rule of
+/// [`build_jtree_top_loaded`]); ties broken by node id for determinism.
+fn select_top_loaded_edges(tree: &CapacitatedTree, j: usize) -> Vec<NodeId> {
+    let n = tree.tree.num_nodes();
+    let mut candidates: Vec<(f64, NodeId)> = (0..n)
+        .map(|v| NodeId(v as u32))
+        .filter(|&v| tree.tree.parent(v).is_some())
+        .map(|v| (tree.rload[v.index()], v))
+        .collect();
+    candidates.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    candidates.truncate(j);
+    candidates.into_iter().map(|(_, v)| v).collect()
 }
 
 /// Labels the components of the forest obtained from the tree by removing the

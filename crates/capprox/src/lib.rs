@@ -12,7 +12,10 @@
 //! * [`racke`] — Räcke-style distributions of capacitated low-stretch
 //!   spanning trees built by multiplicative weight updates (§2, §8.2);
 //! * [`jtree`] — Madry's j-tree construction with portals and skeletons
-//!   (§4, §8.3), plus the recursive hierarchy of Theorem 8.10;
+//!   (§4, §8.3);
+//! * [`mod@hierarchy`] — the recursive j-tree hierarchy of Theorem 8.10,
+//!   which assembles the ensemble level by level so preparation stays
+//!   affordable at millions of nodes;
 //! * [`approximator`] — the `O(log n)`-sample tree-cut approximator of
 //!   Lemma 3.3 with `R·b` / `Rᵀ·y` evaluation by tree aggregation (§9.1).
 //!
@@ -52,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod approximator;
+pub mod hierarchy;
 pub mod jtree;
 pub mod racke;
 pub mod sparsify;
@@ -59,6 +63,11 @@ pub mod sparsify;
 pub use approximator::{
     exhaustive_opt_congestion, ApproximatorStats, CongestionApproximator, OperatorScratch,
 };
-pub use jtree::{build_hierarchy, build_jtree, CoreEdgeOrigin, Hierarchy, JTree};
+pub use hierarchy::{
+    build_hierarchical_ensemble, ChainStats, HierarchyConfig, HierarchyLevelStats, HierarchyStats,
+};
+pub use jtree::{
+    build_hierarchy, build_jtree, build_jtree_top_loaded, CoreEdgeOrigin, Hierarchy, JTree,
+};
 pub use racke::{build_tree_ensemble, CapacitatedTree, EnsembleStats, RackeConfig, TreeEnsemble};
 pub use sparsify::{forest_indices, sparsify, Sparsifier, SparsifyConfig};

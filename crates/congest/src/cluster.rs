@@ -118,7 +118,7 @@ impl ClusterGraph {
         let mut reached = 1usize;
         while let Some(u) = queue.pop_front() {
             let du = depth[u.index()];
-            for &(_, w) in g.incident(u) {
+            for (_, w) in g.incident(u) {
                 if cluster_of[w.index()] == target && depth[w.index()] == u32::MAX {
                     depth[w.index()] = du + 1;
                     max_depth = max_depth.max(du + 1);

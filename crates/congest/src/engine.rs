@@ -60,7 +60,7 @@
 
 use std::sync::Mutex;
 
-use flowgraph::{EdgeId, Graph, NodeId};
+use flowgraph::{EdgeId, Graph, IncidentSlots, NodeId};
 use parallel::{Parallelism, TeamBarrier};
 
 use crate::cost::RoundCost;
@@ -97,7 +97,7 @@ pub struct LocalView<'a> {
     pub node: NodeId,
     /// Total number of nodes in the network.
     pub num_nodes: usize,
-    incident: &'a [(EdgeId, NodeId)],
+    incident: IncidentSlots<'a>,
     caps: &'a [f64],
 }
 
@@ -108,10 +108,11 @@ impl<'a> LocalView<'a> {
         self.incident.len()
     }
 
-    /// The incident `(edge, neighbor)` slots as a CSR slice, in edge
-    /// insertion order (sorted by edge id).
+    /// The incident `(edge, neighbor)` slots of this node as a borrowed CSR
+    /// view (two parallel `u32` slices), in edge insertion order (sorted by
+    /// edge id).
     #[inline]
-    pub fn incident_pairs(&self) -> &'a [(EdgeId, NodeId)] {
+    pub fn incident_pairs(&self) -> IncidentSlots<'a> {
         self.incident
     }
 
@@ -120,7 +121,7 @@ impl<'a> LocalView<'a> {
         self.incident
             .iter()
             .zip(self.caps)
-            .map(|(&(e, w), &c)| (e, w, c))
+            .map(|((e, w), &c)| (e, w, c))
     }
 
     /// Looks up the neighbor reached through `edge` by binary search over the
@@ -128,7 +129,7 @@ impl<'a> LocalView<'a> {
     /// scan).
     #[inline]
     pub fn neighbor_via(&self, edge: EdgeId) -> Option<NodeId> {
-        self.slot_via(edge).map(|i| self.incident[i].1)
+        self.slot_via(edge).map(|i| self.incident.get(i).1)
     }
 
     /// Looks up the capacity of incident `edge` (`O(log degree)`).
@@ -140,16 +141,8 @@ impl<'a> LocalView<'a> {
     /// The local slot index of incident `edge`, if any.
     #[inline]
     pub fn slot_via(&self, edge: EdgeId) -> Option<usize> {
-        slot_lookup(self.incident, edge)
+        self.incident.position_of(edge)
     }
-}
-
-/// Shared slot lookup over an edge-id-sorted incident slice (the CSR
-/// per-node ordering contract); the single implementation behind
-/// [`LocalView::slot_via`] and [`Outbox::send`].
-#[inline]
-fn slot_lookup(incident: &[(EdgeId, NodeId)], edge: EdgeId) -> Option<usize> {
-    incident.binary_search_by_key(&edge, |&(e, _)| e).ok()
 }
 
 /// A network topology on which protocols are executed.
@@ -178,7 +171,7 @@ impl Network {
         let mut first_slot = vec![u32::MAX; graph.num_edges()];
         let mut s = 0u32;
         for v in graph.nodes() {
-            for &(e, _) in csr.incident(v) {
+            for (e, _) in csr.incident(v) {
                 caps.push(graph.capacity(e));
                 let first = &mut first_slot[e.index()];
                 if *first == u32::MAX {
@@ -233,7 +226,7 @@ impl Network {
 #[derive(Debug)]
 pub struct Outbox<'a, M> {
     node: NodeId,
-    incident: &'a [(EdgeId, NodeId)],
+    incident: IncidentSlots<'a>,
     slots: &'a mut [Option<M>],
     /// Global slot index of local slot 0 (for the dirty list).
     base: u32,
@@ -247,7 +240,7 @@ impl<'a, M> Outbox<'a, M> {
     /// [`crate::reliable`]).
     pub(crate) fn from_parts(
         node: NodeId,
-        incident: &'a [(EdgeId, NodeId)],
+        incident: IncidentSlots<'a>,
         slots: &'a mut [Option<M>],
         base: u32,
         dirty: &'a mut Vec<u32>,
@@ -268,7 +261,7 @@ impl<'a, M> Outbox<'a, M> {
     /// [`SimulationError::DuplicateSend`] if a message was already queued on
     /// it this round.
     pub fn send(&mut self, edge: EdgeId, msg: M) {
-        match slot_lookup(self.incident, edge) {
+        match self.incident.position_of(edge) {
             Some(i) => self.send_at(i, msg),
             None => self.record(SimulationError::NotIncident {
                 node: self.node,
@@ -288,7 +281,7 @@ impl<'a, M> Outbox<'a, M> {
         if self.slots[i].is_some() {
             self.record(SimulationError::DuplicateSend {
                 node: self.node,
-                edge: self.incident[i].0,
+                edge: self.incident.get(i).0,
             });
             return;
         }
@@ -323,7 +316,7 @@ impl<'a, M> Outbox<'a, M> {
 /// incident-edge order (ascending edge id), not sender order.
 #[derive(Debug)]
 pub struct Inbox<'a, M> {
-    incident: &'a [(EdgeId, NodeId)],
+    incident: IncidentSlots<'a>,
     slots: &'a [Option<M>],
 }
 
@@ -331,7 +324,7 @@ impl<'a, M> Inbox<'a, M> {
     /// Assembles an inbox view over caller-owned slots (used by the model
     /// executors in [`crate::model`] and the retransmit adapter in
     /// [`crate::reliable`], which present payloads through buffers they own).
-    pub(crate) fn from_parts(incident: &'a [(EdgeId, NodeId)], slots: &'a [Option<M>]) -> Self {
+    pub(crate) fn from_parts(incident: IncidentSlots<'a>, slots: &'a [Option<M>]) -> Self {
         Inbox { incident, slots }
     }
 
@@ -340,7 +333,7 @@ impl<'a, M> Inbox<'a, M> {
         self.incident
             .iter()
             .zip(self.slots)
-            .filter_map(|(&(e, _), m)| m.as_ref().map(|m| (e, m)))
+            .filter_map(|((e, _), m)| m.as_ref().map(|m| (e, m)))
     }
 
     /// Number of delivered messages (`O(degree)`).
@@ -1444,7 +1437,7 @@ mod tests {
         type Output = ();
 
         fn init(&self, view: &LocalView<'_>, outbox: &mut Outbox<'_, Self::Msg>) -> Self::State {
-            if let Some(&(e, _)) = view.incident_pairs().first() {
+            if let Some((e, _)) = view.incident_pairs().first() {
                 outbox.send(e, MinMsg(0));
                 outbox.send(e, MinMsg(1));
             }
@@ -1540,13 +1533,13 @@ mod tests {
         let network = Network::new(g);
         let hub = network.view(NodeId(0));
         assert_eq!(hub.degree(), n - 1);
-        for (i, &(e, w)) in hub.incident_pairs().iter().enumerate() {
+        for (i, (e, w)) in hub.incident_pairs().iter().enumerate() {
             assert_eq!(w, NodeId((i + 1) as u32));
             assert_eq!(hub.neighbor_via(e), Some(w), "hub lookup for {e}");
         }
         assert_eq!(hub.neighbor_via(EdgeId(n as u32)), None);
         let leaf = network.view(NodeId((n - 1) as u32));
-        let (e, _) = leaf.incident_pairs()[0];
+        let (e, _) = leaf.incident_pairs().get(0);
         assert_eq!(leaf.neighbor_via(e), Some(NodeId(0)));
     }
 
@@ -1624,7 +1617,7 @@ mod tests {
             round: u64,
         ) {
             if round == 2 {
-                if let Some(&(e, _)) = view.incident_pairs().first() {
+                if let Some((e, _)) = view.incident_pairs().first() {
                     outbox.send(e, MinMsg(0));
                     outbox.send(e, MinMsg(1));
                 }
@@ -1702,7 +1695,7 @@ mod tests {
         ) {
             if round == 2 {
                 if view.node == NodeId(0) {
-                    if let Some(&(e, _)) = view.incident_pairs().first() {
+                    if let Some((e, _)) = view.incident_pairs().first() {
                         outbox.send(e, MinMsg(0));
                         outbox.send(e, MinMsg(1));
                     }

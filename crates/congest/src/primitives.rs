@@ -144,7 +144,7 @@ impl Protocol for BfsProtocol {
             .expect("message arrived over an incident edge");
         state.joined = true;
         state.parent = Some((edge, parent));
-        for (i, &(e, _)) in view.incident_pairs().iter().enumerate() {
+        for (i, (e, _)) in view.incident_pairs().iter().enumerate() {
             if e != edge {
                 outbox.send_at(i, BfsMsg);
             }

@@ -18,7 +18,7 @@
 //! Swap this module for real serde once a registry is reachable; the tests
 //! in `crates/core/tests/config_roundtrip.rs` pin the semantics either way.
 
-use capprox::RackeConfig;
+use capprox::{HierarchyConfig, RackeConfig};
 use flowgraph::GraphError;
 
 use crate::solver::MaxFlowConfig;
@@ -34,7 +34,8 @@ impl MaxFlowConfig {
         format!(
             "{{\"epsilon\":{},\"racke\":{{\"num_trees\":{},\"mwu_step\":{},\"seed\":{},\
              \"lowstretch_z\":{},\"target_quality\":{}}},\"alpha\":{},\
-             \"max_iterations_per_phase\":{},\"phases\":{},\"warm_start\":{}}}",
+             \"max_iterations_per_phase\":{},\"phases\":{},\"warm_start\":{},\
+             \"hierarchy\":{}}}",
             json_f64(self.epsilon),
             opt_usize(self.racke.num_trees),
             json_f64(self.racke.mwu_step),
@@ -47,6 +48,7 @@ impl MaxFlowConfig {
             self.max_iterations_per_phase,
             opt_usize(self.phases),
             self.warm_start,
+            hierarchy_json(self.hierarchy.as_ref()),
         )
     }
 
@@ -73,6 +75,7 @@ impl MaxFlowConfig {
                 "phases" => config.phases = p.opt_usize_value()?,
                 "warm_start" => config.warm_start = p.bool_value()?,
                 "racke" => config.racke = parse_racke(&mut p)?,
+                "hierarchy" => config.hierarchy = parse_hierarchy(&mut p)?,
                 "parallelism" => {
                     return Err(GraphError::InvalidConfig {
                         parameter: "parallelism",
@@ -113,6 +116,53 @@ fn parse_racke(p: &mut Parser<'_>) -> Result<RackeConfig, GraphError> {
         }
     }
     Ok(racke)
+}
+
+fn hierarchy_json(h: Option<&HierarchyConfig>) -> String {
+    let Some(h) = h else {
+        return "null".to_string();
+    };
+    format!(
+        "{{\"beta\":{},\"direct_threshold\":{},\"chains\":{},\"trees_per_chain\":{},\
+         \"sparsify_epsilon\":{},\"seed\":{},\"max_levels\":{}}}",
+        json_f64(h.beta),
+        h.direct_threshold,
+        h.chains,
+        opt_usize(h.trees_per_chain),
+        json_f64(h.sparsify_epsilon),
+        h.seed,
+        h.max_levels,
+    )
+}
+
+/// `null` or a nested [`HierarchyConfig`] object.
+fn parse_hierarchy(p: &mut Parser<'_>) -> Result<Option<HierarchyConfig>, GraphError> {
+    if !p.value_is_object() {
+        return match p.scalar()? {
+            "null" => Ok(None),
+            _ => Err(MALFORMED),
+        };
+    }
+    let mut hierarchy = HierarchyConfig::default();
+    p.expect_object_start()?;
+    while let Some(key) = p.next_key()? {
+        match key.as_str() {
+            "beta" => hierarchy.beta = p.f64_value()?,
+            "direct_threshold" => hierarchy.direct_threshold = p.usize_value()?,
+            "chains" => hierarchy.chains = p.usize_value()?,
+            "trees_per_chain" => hierarchy.trees_per_chain = p.opt_usize_value()?,
+            "sparsify_epsilon" => hierarchy.sparsify_epsilon = p.f64_value()?,
+            "seed" => hierarchy.seed = p.u64_value()?,
+            "max_levels" => hierarchy.max_levels = p.usize_value()?,
+            _ => {
+                return Err(GraphError::InvalidConfig {
+                    parameter: "json",
+                    reason: "unknown field in HierarchyConfig document",
+                })
+            }
+        }
+    }
+    Ok(Some(hierarchy))
 }
 
 fn opt_usize(v: Option<usize>) -> String {
@@ -173,6 +223,13 @@ impl<'a> Parser<'a> {
         } else {
             false
         }
+    }
+
+    /// Whether the upcoming value starts an object (`{`) rather than a
+    /// scalar; consumes nothing.
+    fn value_is_object(&mut self) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&b'{')
     }
 
     fn expect_object_start(&mut self) -> Result<(), GraphError> {

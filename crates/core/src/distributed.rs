@@ -355,7 +355,7 @@ impl<'g> PreparedMaxFlow<'g> {
             let mut peers: Vec<u32> = Vec::new();
             for v in self.graph().nodes() {
                 peers.clear();
-                peers.extend(self.graph().incident(v).iter().map(|&(_, w)| w.0));
+                peers.extend(self.graph().incident(v).iter().map(|(_, w)| w.0));
                 peers.sort_unstable();
                 if peers.windows(2).any(|w| w[0] == w[1]) {
                     return Err(GraphError::InvalidConfig {

@@ -95,6 +95,7 @@ pub mod solver;
 pub use almost_route::{
     almost_route, almost_route_with, AlmostRouteConfig, AlmostRouteResult, AlmostRouteScratch,
 };
+pub use capprox::{HierarchyConfig, HierarchyStats};
 pub use congest::model::{Adversary, CommModel};
 pub use distributed::{
     distributed_approx_max_flow, distributed_approx_max_flow_on, DistributedMaxFlowResult,

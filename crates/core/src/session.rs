@@ -104,9 +104,22 @@ impl<'g> PreparedMaxFlow<'g> {
             // empty edge set (see `almost_route::smax`).
             return Err(GraphError::NoEdges);
         }
-        let ensemble = build_tree_ensemble(graph, &config.racke)?;
+        // The scalable preparation path assembles the ensemble level by
+        // level through the recursive j-tree hierarchy (Theorem 8.10); the
+        // default path builds the Räcke ensemble directly on the graph.
+        let (ensemble, hierarchy_stats) = match &config.hierarchy {
+            Some(hierarchy) => {
+                let (ensemble, stats) =
+                    capprox::build_hierarchical_ensemble(graph, hierarchy, &config.racke)?;
+                (ensemble, Some(stats))
+            }
+            None => (build_tree_ensemble(graph, &config.racke)?, None),
+        };
         let ensemble_stats = ensemble.stats.clone();
-        let approximator = CongestionApproximator::from_ensemble(ensemble)?;
+        let approximator = match hierarchy_stats {
+            Some(stats) => CongestionApproximator::from_ensemble_with_hierarchy(ensemble, stats)?,
+            None => CongestionApproximator::from_ensemble(ensemble)?,
+        };
         let repair_tree = max_weight_spanning_tree(graph, NodeId(0))?;
         let scratch = AlmostRouteScratch::for_instance(graph, &approximator);
         Ok(PreparedMaxFlow {

@@ -10,7 +10,7 @@
 //! separating `s` and `t` (a genuine cut of `G`, hence an upper bound on the
 //! max flow) makes the scaled value a `(1+ε)`-approximation.
 
-use capprox::{CongestionApproximator, RackeConfig};
+use capprox::{CongestionApproximator, HierarchyConfig, RackeConfig};
 use flowgraph::{max_weight_spanning_tree, Demand, FlowVec, Graph, GraphError, NodeId, RootedTree};
 use parallel::Parallelism;
 use serde::{Deserialize, Serialize};
@@ -86,6 +86,12 @@ pub struct MaxFlowConfig {
     /// the deployment opts back in.
     #[serde(skip, default)]
     pub parallelism: Parallelism,
+    /// Build the congestion approximator through the recursive j-tree
+    /// hierarchy of Theorem 8.10 instead of the direct Räcke construction —
+    /// the million-node preparation path (see `capprox::hierarchy`). `None`
+    /// (the default) keeps the direct build.
+    #[serde(default)]
+    pub hierarchy: Option<HierarchyConfig>,
 }
 
 impl Default for MaxFlowConfig {
@@ -98,6 +104,7 @@ impl Default for MaxFlowConfig {
             phases: None,
             warm_start: false,
             parallelism: Parallelism::sequential(),
+            hierarchy: None,
         }
     }
 }
@@ -186,6 +193,16 @@ impl MaxFlowConfig {
         self
     }
 
+    /// Enables (or disables with `None`) the recursive hierarchy preparation
+    /// path: the congestion approximator is assembled level by level through
+    /// j-trees instead of directly on the full graph, which is what makes
+    /// `prepare` affordable at millions of nodes.
+    #[must_use]
+    pub fn with_hierarchy(mut self, hierarchy: Option<HierarchyConfig>) -> Self {
+        self.hierarchy = hierarchy;
+        self
+    }
+
     /// Rejects configurations that can never produce a meaningful run —
     /// non-positive or NaN `epsilon`, a zero iteration budget, zero phases,
     /// an empty tree ensemble, or a non-finite / sub-unit α override — before
@@ -235,6 +252,9 @@ impl MaxFlowConfig {
                     reason: "must be a finite number >= 1 (or None to keep the full schedule)",
                 });
             }
+        }
+        if let Some(hierarchy) = &self.hierarchy {
+            hierarchy.validate()?;
         }
         Ok(())
     }

@@ -124,7 +124,7 @@ impl FlowVec {
     /// (paper §1.1 condition 3).
     pub fn st_value(&self, g: &Graph, s: NodeId) -> f64 {
         let mut out = 0.0;
-        for &(eid, _) in g.incident(s) {
+        for (eid, _) in g.incident(s) {
             let e = g.edge(eid);
             let f = self.values[eid.index()];
             if e.tail == s {

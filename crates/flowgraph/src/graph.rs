@@ -4,17 +4,31 @@
 //! `G = (V, E, cap)` with an arbitrary but fixed orientation per edge; several
 //! of the constructions (Madry cores, contracted cluster graphs, AKPW
 //! iterations) additionally require *multigraphs*. [`Graph`] therefore stores
-//! a list of oriented edges (parallel edges allowed) plus a lazily built
+//! oriented edges (parallel edges allowed) plus a lazily built
 //! compressed-sparse-row incidence index ([`crate::csr::Csr`]), which covers
 //! both use cases. The CSR index is built once on first neighborhood query
 //! and invalidated by topology mutations (`add_node` / `add_edge`); capacity
 //! updates do not invalidate it.
+//!
+//! # Compact-ID struct-of-arrays storage
+//!
+//! Node and edge ids are `u32`; the edge list is three parallel arrays
+//! (`tails`, `heads`, `capacities`) rather than a `Vec<Edge>` of per-edge
+//! structs, so an m-edge graph costs `2·4 + 8 = 16` bytes per edge for the
+//! edge list plus `4·(n+1) + 2·2·4·m ≈ 16` bytes per edge for the CSR index —
+//! about 32 bytes/edge all-in (measured by [`Graph::memory_bytes`]), which is
+//! what makes `n = 10^6..10^7` graphs affordable. [`Edge`] remains the
+//! by-value *view* type handed out by accessors; it is never stored.
+//!
+//! Construction enforces the id space: node counts above
+//! [`Graph::MAX_NODES`] or edge counts above [`Graph::MAX_EDGES`] are
+//! rejected with typed [`GraphError`]s instead of silently truncating ids.
 
 use std::sync::OnceLock;
 
 use serde::{Deserialize, Serialize};
 
-use crate::csr::Csr;
+use crate::csr::{Csr, IncidentSlots};
 use crate::{GraphError, Result};
 
 /// Identifier of a node, an index into `0..graph.num_nodes()`.
@@ -68,6 +82,9 @@ impl From<usize> for EdgeId {
 /// A single undirected edge with the fixed orientation `tail -> head` used to
 /// give flow values a sign (paper §1.1: "We fix an arbitrary orientation of
 /// the edges").
+///
+/// This is a by-value *view* assembled on demand from the graph's
+/// struct-of-arrays storage — cheap to copy, never stored per edge.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Edge {
     /// Tail of the fixed orientation.
@@ -119,6 +136,32 @@ impl Edge {
     }
 }
 
+/// Heap-memory breakdown of a [`Graph`], from [`Graph::memory_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphMemory {
+    /// Bytes of the tail/head/capacity edge arrays.
+    pub edge_list_bytes: usize,
+    /// Bytes of the CSR incidence index (0 if not yet built).
+    pub csr_bytes: usize,
+}
+
+impl GraphMemory {
+    /// Total heap bytes (edge list + CSR index).
+    pub fn total(&self) -> usize {
+        self.edge_list_bytes + self.csr_bytes
+    }
+
+    /// Total bytes divided by the edge count (the gated bytes/edge budget);
+    /// `0.0` for an edgeless graph.
+    pub fn bytes_per_edge(&self, num_edges: usize) -> f64 {
+        if num_edges == 0 {
+            0.0
+        } else {
+            self.total() as f64 / num_edges as f64
+        }
+    }
+}
+
 /// An undirected, capacitated multigraph.
 ///
 /// Nodes are `0..n`, edges are `0..m` in insertion order; parallel edges and
@@ -127,7 +170,12 @@ impl Edge {
 /// incident `(edge, neighbor)` slots contiguously and in insertion order.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Graph {
-    edges: Vec<Edge>,
+    /// Tail endpoint of each edge (fixed orientation).
+    tails: Vec<u32>,
+    /// Head endpoint of each edge, parallel to `tails`.
+    heads: Vec<u32>,
+    /// Capacity of each edge, parallel to `tails`.
+    capacities: Vec<f64>,
     num_nodes: usize,
     /// Lazily built CSR incidence index; cleared on topology mutation.
     /// Derived state — excluded from serialization (rebuilt on demand).
@@ -138,7 +186,10 @@ pub struct Graph {
 impl PartialEq for Graph {
     fn eq(&self, other: &Self) -> bool {
         // The CSR cache is derived state and must not affect equality.
-        self.num_nodes == other.num_nodes && self.edges == other.edges
+        self.num_nodes == other.num_nodes
+            && self.tails == other.tails
+            && self.heads == other.heads
+            && self.capacities == other.capacities
     }
 }
 
@@ -151,13 +202,100 @@ const _: fn() = parallel::assert_send_sync::<Graph>;
 const _: fn() = parallel::assert_send_sync::<Csr>;
 
 impl Graph {
+    /// Largest supported node count: node ids must fit in `u32`.
+    pub const MAX_NODES: usize = u32::MAX as usize;
+
+    /// Largest supported edge count: edge ids must fit in `u32` **and** the
+    /// CSR slot offsets (`2m` of them) must too, so the bound is
+    /// `u32::MAX / 2`.
+    pub const MAX_EDGES: usize = (u32::MAX / 2) as usize;
+
     /// Creates an empty graph with `n` isolated nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds [`Graph::MAX_NODES`]; use
+    /// [`Graph::try_with_nodes`] for a typed error instead.
     pub fn with_nodes(n: usize) -> Self {
-        Graph {
-            edges: Vec::new(),
+        Self::try_with_nodes(n).expect("node count exceeds the u32 id space")
+    }
+
+    /// Creates an empty graph with `n` isolated nodes, rejecting node counts
+    /// that do not fit the `u32` id space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::TooManyNodes`] if `n > Graph::MAX_NODES`.
+    pub fn try_with_nodes(n: usize) -> Result<Self> {
+        if n > Self::MAX_NODES {
+            return Err(GraphError::TooManyNodes { requested: n });
+        }
+        Ok(Graph {
+            tails: Vec::new(),
+            heads: Vec::new(),
+            capacities: Vec::new(),
             num_nodes: n,
             csr: OnceLock::new(),
+        })
+    }
+
+    /// Builds a graph in one shot from struct-of-arrays edge data: parallel
+    /// `tails` / `heads` / `capacities` arrays over `num_nodes` nodes. This
+    /// is the bulk-construction path the streaming million-node generators
+    /// use — no intermediate per-edge structs or per-node vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::TooManyNodes`] / [`GraphError::TooManyEdges`]
+    /// when a count overflows the `u32` id space,
+    /// [`GraphError::DemandMismatch`] when the arrays are not parallel, and
+    /// the usual [`GraphError::NodeOutOfRange`] / [`GraphError::SelfLoop`] /
+    /// [`GraphError::InvalidWeight`] for invalid edges.
+    pub fn from_soa(
+        num_nodes: usize,
+        tails: Vec<u32>,
+        heads: Vec<u32>,
+        capacities: Vec<f64>,
+    ) -> Result<Self> {
+        if num_nodes > Self::MAX_NODES {
+            return Err(GraphError::TooManyNodes {
+                requested: num_nodes,
+            });
         }
+        if tails.len() > Self::MAX_EDGES {
+            return Err(GraphError::TooManyEdges {
+                requested: tails.len(),
+            });
+        }
+        if tails.len() != heads.len() || tails.len() != capacities.len() {
+            return Err(GraphError::DemandMismatch {
+                expected: tails.len(),
+                actual: heads.len().min(capacities.len()),
+            });
+        }
+        for (&t, &h) in tails.iter().zip(&heads) {
+            if t as usize >= num_nodes || h as usize >= num_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: (t as usize).max(h as usize),
+                    num_nodes,
+                });
+            }
+            if t == h {
+                return Err(GraphError::SelfLoop { node: t as usize });
+            }
+        }
+        for &c in &capacities {
+            if !(c.is_finite() && c > 0.0) {
+                return Err(GraphError::InvalidWeight { value: c });
+            }
+        }
+        Ok(Graph {
+            tails,
+            heads,
+            capacities,
+            num_nodes,
+            csr: OnceLock::new(),
+        })
     }
 
     /// Number of nodes `n`.
@@ -169,7 +307,7 @@ impl Graph {
     /// Number of edges `m` (parallel edges counted individually).
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.tails.len()
     }
 
     /// Returns `true` if the graph has no nodes.
@@ -183,11 +321,19 @@ impl Graph {
     #[inline]
     pub fn csr(&self) -> &Csr {
         self.csr
-            .get_or_init(|| Csr::from_edges(self.num_nodes, &self.edges))
+            .get_or_init(|| Csr::from_edges(self.num_nodes, &self.tails, &self.heads))
     }
 
     /// Adds a new isolated node and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count would exceed [`Graph::MAX_NODES`].
     pub fn add_node(&mut self) -> NodeId {
+        assert!(
+            self.num_nodes < Self::MAX_NODES,
+            "node count exceeds the u32 id space"
+        );
         self.num_nodes += 1;
         self.csr.take();
         NodeId((self.num_nodes - 1) as u32)
@@ -197,8 +343,10 @@ impl Graph {
     ///
     /// # Errors
     ///
-    /// Returns an error if either endpoint is out of range, if `u == v`, or if
-    /// the capacity is not a strictly positive finite number.
+    /// Returns an error if either endpoint is out of range, if `u == v`, if
+    /// the capacity is not a strictly positive finite number, or if the edge
+    /// count would exceed [`Graph::MAX_EDGES`]
+    /// ([`GraphError::TooManyEdges`]).
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, capacity: f64) -> Result<EdgeId> {
         self.check_node(u)?;
         self.check_node(v)?;
@@ -208,36 +356,76 @@ impl Graph {
         if !(capacity.is_finite() && capacity > 0.0) {
             return Err(GraphError::InvalidWeight { value: capacity });
         }
-        let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(Edge {
-            tail: u,
-            head: v,
-            capacity,
-        });
+        if self.tails.len() >= Self::MAX_EDGES {
+            return Err(GraphError::TooManyEdges {
+                requested: self.tails.len() + 1,
+            });
+        }
+        let id = EdgeId(self.tails.len() as u32);
+        self.tails.push(u.0);
+        self.heads.push(v.0);
+        self.capacities.push(capacity);
         self.csr.take();
         Ok(id)
     }
 
-    /// Returns the edge with the given id.
+    /// Returns the edge with the given id (a by-value view into the
+    /// struct-of-arrays storage).
     ///
     /// # Panics
     ///
     /// Panics if the edge id is out of range.
     #[inline]
-    pub fn edge(&self, e: EdgeId) -> &Edge {
-        &self.edges[e.index()]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        let i = e.index();
+        Edge {
+            tail: NodeId(self.tails[i]),
+            head: NodeId(self.heads[i]),
+            capacity: self.capacities[i],
+        }
     }
 
     /// Returns the edge with the given id, or `None` if out of range.
     #[inline]
-    pub fn get_edge(&self, e: EdgeId) -> Option<&Edge> {
-        self.edges.get(e.index())
+    pub fn get_edge(&self, e: EdgeId) -> Option<Edge> {
+        if e.index() < self.tails.len() {
+            Some(self.edge(e))
+        } else {
+            None
+        }
+    }
+
+    /// Tail endpoint of edge `e` (fixed orientation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is out of range.
+    #[inline]
+    pub fn tail(&self, e: EdgeId) -> NodeId {
+        NodeId(self.tails[e.index()])
+    }
+
+    /// Head endpoint of edge `e` (fixed orientation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge id is out of range.
+    #[inline]
+    pub fn head(&self, e: EdgeId) -> NodeId {
+        NodeId(self.heads[e.index()])
     }
 
     /// Capacity of edge `e`.
     #[inline]
     pub fn capacity(&self, e: EdgeId) -> f64 {
-        self.edges[e.index()].capacity
+        self.capacities[e.index()]
+    }
+
+    /// The raw per-edge capacity array (hot-path accessor for kernels that
+    /// scan all capacities).
+    #[inline]
+    pub fn capacity_slice(&self) -> &[f64] {
+        &self.capacities
     }
 
     /// Replaces the capacity of edge `e`.
@@ -250,7 +438,7 @@ impl Graph {
         if !(capacity.is_finite() && capacity > 0.0) {
             return Err(GraphError::InvalidWeight { value: capacity });
         }
-        self.edges[e.index()].capacity = capacity;
+        self.capacities[e.index()] = capacity;
         Ok(())
     }
 
@@ -264,23 +452,57 @@ impl Graph {
         (0..self.num_edges() as u32).map(EdgeId)
     }
 
-    /// Iterates over `(EdgeId, &Edge)` pairs.
-    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
-        self.edges
+    /// Iterates over `(EdgeId, Edge)` pairs (edges are by-value views).
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, Edge)> + '_ {
+        self.tails
             .iter()
+            .zip(&self.heads)
+            .zip(&self.capacities)
             .enumerate()
-            .map(|(i, e)| (EdgeId(i as u32), e))
+            .map(|(i, ((&t, &h), &c))| {
+                (
+                    EdgeId(i as u32),
+                    Edge {
+                        tail: NodeId(t),
+                        head: NodeId(h),
+                        capacity: c,
+                    },
+                )
+            })
     }
 
-    /// The incident `(edge, neighbor)` slots of node `v` as a contiguous CSR
-    /// slice, in edge insertion order (parallel edges repeated).
+    /// The incident `(edge, neighbor)` slots of node `v` as a pair of
+    /// contiguous CSR slices, in edge insertion order (parallel edges
+    /// repeated). The view iterates as `(EdgeId, NodeId)` pairs.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
     #[inline]
-    pub fn incident(&self, v: NodeId) -> &[(EdgeId, NodeId)] {
+    pub fn incident(&self, v: NodeId) -> IncidentSlots<'_> {
         self.csr().incident(v)
+    }
+
+    /// The raw neighbor slice of node `v` (BFS fast path; see
+    /// [`Csr::neighbor_slice`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn neighbor_slice(&self, v: NodeId) -> &[u32] {
+        self.csr().neighbor_slice(v)
+    }
+
+    /// The raw incident edge-id slice of node `v` (capacity-scan fast path;
+    /// see [`Csr::edge_id_slice`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn edge_id_slice(&self, v: NodeId) -> &[u32] {
+        self.csr().edge_id_slice(v)
     }
 
     /// Degree of node `v` (number of incident edge slots, so parallel edges
@@ -293,33 +515,46 @@ impl Graph {
     /// Iterates over `(EdgeId, neighbor)` pairs for node `v`, in edge
     /// insertion order.
     pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
-        self.incident(v).iter().copied()
+        self.incident(v).iter()
     }
 
     /// Sum of all edge capacities.
     pub fn total_capacity(&self) -> f64 {
-        self.edges.iter().map(|e| e.capacity).sum()
+        self.capacities.iter().sum()
     }
 
     /// Largest edge capacity, or `0.0` for an edgeless graph.
     pub fn max_capacity(&self) -> f64 {
-        self.edges.iter().map(|e| e.capacity).fold(0.0, f64::max)
+        self.capacities.iter().copied().fold(0.0, f64::max)
     }
 
     /// Smallest edge capacity, or `f64::INFINITY` for an edgeless graph.
     pub fn min_capacity(&self) -> f64 {
-        self.edges
+        self.capacities
             .iter()
-            .map(|e| e.capacity)
+            .copied()
             .fold(f64::INFINITY, f64::min)
     }
 
     /// Total capacity of edges incident to `v`.
     pub fn weighted_degree(&self, v: NodeId) -> f64 {
-        self.incident(v)
+        self.edge_id_slice(v)
             .iter()
-            .map(|&(e, _)| self.edges[e.index()].capacity)
+            .map(|&e| self.capacities[e as usize])
             .sum()
+    }
+
+    /// Heap-memory breakdown of the graph storage (edge arrays plus the CSR
+    /// index if built). This is the measured bytes/edge budget recorded in
+    /// BENCH_JSON by the `hierarchy_scale` bench.
+    pub fn memory_bytes(&self) -> GraphMemory {
+        let edge_list_bytes = std::mem::size_of::<u32>()
+            * (self.tails.capacity() + self.heads.capacity())
+            + std::mem::size_of::<f64>() * self.capacities.capacity();
+        GraphMemory {
+            edge_list_bytes,
+            csr_bytes: self.csr.get().map_or(0, Csr::heap_bytes),
+        }
     }
 
     /// Runs a breadth-first search from `root` and returns, for every node,
@@ -329,14 +564,16 @@ impl Graph {
         if root.index() >= self.num_nodes() {
             return dist;
         }
+        let csr = self.csr();
         let mut queue = std::collections::VecDeque::new();
         dist[root.index()] = 0;
         queue.push_back(root);
         while let Some(u) = queue.pop_front() {
-            for &(_, w) in self.incident(u) {
-                if dist[w.index()] == usize::MAX {
-                    dist[w.index()] = dist[u.index()] + 1;
-                    queue.push_back(w);
+            let next = dist[u.index()] + 1;
+            for &w in csr.neighbor_slice(u) {
+                if dist[w as usize] == usize::MAX {
+                    dist[w as usize] = next;
+                    queue.push_back(NodeId(w));
                 }
             }
         }
@@ -411,22 +648,25 @@ impl Graph {
         let n = self.num_nodes();
         let mut comp = vec![usize::MAX; n];
         let mut next = 0usize;
-        for start in 0..n {
-            if comp[start] != usize::MAX {
-                continue;
-            }
+        if n > 0 {
+            let csr = self.csr();
             let mut queue = std::collections::VecDeque::new();
-            comp[start] = next;
-            queue.push_back(NodeId(start as u32));
-            while let Some(u) = queue.pop_front() {
-                for &(_, w) in self.incident(u) {
-                    if comp[w.index()] == usize::MAX {
-                        comp[w.index()] = next;
-                        queue.push_back(w);
+            for start in 0..n {
+                if comp[start] != usize::MAX {
+                    continue;
+                }
+                comp[start] = next;
+                queue.push_back(NodeId(start as u32));
+                while let Some(u) = queue.pop_front() {
+                    for &w in csr.neighbor_slice(u) {
+                        if comp[w as usize] == usize::MAX {
+                            comp[w as usize] = next;
+                            queue.push_back(NodeId(w));
+                        }
                     }
                 }
+                next += 1;
             }
-            next += 1;
         }
         (comp, next)
     }
@@ -517,9 +757,10 @@ impl GraphBuilder {
     /// # Errors
     ///
     /// Returns the first validation error encountered (out-of-range endpoint,
-    /// self-loop, non-positive capacity).
+    /// self-loop, non-positive capacity, or a node/edge count overflowing the
+    /// `u32` id space).
     pub fn build(self) -> Result<Graph> {
-        let mut g = Graph::with_nodes(self.num_nodes);
+        let mut g = Graph::try_with_nodes(self.num_nodes)?;
         for (u, v, c) in self.edges {
             g.add_edge(NodeId(u as u32), NodeId(v as u32), c)?;
         }
@@ -563,6 +804,8 @@ mod tests {
         assert_eq!(e.other(NodeId(0)), NodeId(1));
         assert!(e.is_incident(NodeId(1)));
         assert!(!e.is_incident(NodeId(2)));
+        assert_eq!(g.tail(EdgeId(0)), NodeId(0));
+        assert_eq!(g.head(EdgeId(0)), NodeId(1));
     }
 
     #[test]
@@ -588,6 +831,60 @@ mod tests {
             g.add_edge(NodeId(0), NodeId(1), f64::INFINITY),
             Err(GraphError::InvalidWeight { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_id_space_overflow() {
+        // Node counts beyond u32 must be a typed error, not a truncation.
+        let r = Graph::try_with_nodes(Graph::MAX_NODES + 1);
+        assert!(matches!(
+            r,
+            Err(GraphError::TooManyNodes {
+                requested
+            }) if requested == Graph::MAX_NODES + 1
+        ));
+        assert!(GraphBuilder::new(Graph::MAX_NODES + 1).build().is_err());
+        let r = Graph::from_soa(Graph::MAX_NODES + 1, vec![], vec![], vec![]);
+        assert!(matches!(r, Err(GraphError::TooManyNodes { .. })));
+        // MAX_NODES itself is fine (no edge storage is allocated).
+        assert!(Graph::try_with_nodes(Graph::MAX_NODES).is_ok());
+    }
+
+    #[test]
+    fn from_soa_validates_and_matches_incremental_build() {
+        let bulk = Graph::from_soa(3, vec![0, 1, 2], vec![1, 2, 0], vec![1.0, 2.0, 4.0]).unwrap();
+        assert_eq!(bulk, triangle());
+        assert!(matches!(
+            Graph::from_soa(3, vec![0], vec![0], vec![1.0]),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            Graph::from_soa(3, vec![0], vec![7], vec![1.0]),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Graph::from_soa(3, vec![0], vec![1], vec![-1.0]),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+        assert!(matches!(
+            Graph::from_soa(3, vec![0, 1], vec![1], vec![1.0]),
+            Err(GraphError::DemandMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_bytes_accounts_edge_list_and_csr() {
+        let g = triangle();
+        let before = g.memory_bytes();
+        assert_eq!(before.csr_bytes, 0, "CSR not built yet");
+        assert!(before.edge_list_bytes >= 3 * (4 + 4 + 8));
+        let _ = g.incident(NodeId(0));
+        let after = g.memory_bytes();
+        // offsets: 4 u32, slots: 2 * 6 u32.
+        assert!(after.csr_bytes >= 4 * 4 + 2 * 6 * 4);
+        assert!(after.total() > before.total());
+        assert!(after.bytes_per_edge(g.num_edges()) > 0.0);
+        assert_eq!(after.bytes_per_edge(0), 0.0);
     }
 
     #[test]

@@ -45,10 +45,10 @@ pub mod spanning;
 pub mod tree;
 pub mod unionfind;
 
-pub use csr::Csr;
+pub use csr::{Csr, IncidentIter, IncidentSlots};
 pub use cut::Cut;
 pub use flow::{Demand, FlowVec};
-pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
+pub use graph::{Edge, EdgeId, Graph, GraphBuilder, GraphMemory, NodeId};
 pub use spanning::{
     bfs_tree, max_weight_spanning_tree, minimum_spanning_tree, random_spanning_tree,
 };
@@ -83,6 +83,19 @@ pub enum GraphError {
     SelfLoop {
         /// The node with the self-loop.
         node: usize,
+    },
+    /// A node count exceeded the `u32` id space ([`Graph::MAX_NODES`]).
+    /// Construction rejects this up front instead of truncating ids.
+    TooManyNodes {
+        /// The requested node count.
+        requested: usize,
+    },
+    /// An edge count exceeded the `u32` id space ([`Graph::MAX_EDGES`]:
+    /// `u32::MAX / 2`, so the `2m` CSR slot offsets still fit in `u32`).
+    /// Construction rejects this up front instead of truncating ids.
+    TooManyEdges {
+        /// The requested edge count.
+        requested: usize,
     },
     /// The operation requires a non-empty graph.
     Empty,
@@ -132,6 +145,20 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::NotConnected => write!(f, "graph is not connected"),
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
+            GraphError::TooManyNodes { requested } => {
+                write!(
+                    f,
+                    "node count {requested} exceeds the u32 id space (max {})",
+                    graph::Graph::MAX_NODES
+                )
+            }
+            GraphError::TooManyEdges { requested } => {
+                write!(
+                    f,
+                    "edge count {requested} exceeds the u32 id space (max {})",
+                    graph::Graph::MAX_EDGES
+                )
+            }
             GraphError::Empty => write!(f, "graph is empty"),
             GraphError::NoEdges => write!(f, "graph has no edges"),
             GraphError::DemandMismatch { expected, actual } => {

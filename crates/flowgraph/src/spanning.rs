@@ -35,7 +35,7 @@ pub fn bfs_tree(g: &Graph, root: NodeId) -> Result<RootedTree> {
     seen[root.index()] = true;
     queue.push_back(root);
     while let Some(u) = queue.pop_front() {
-        for &(eid, w) in g.incident(u) {
+        for (eid, w) in g.incident(u) {
             if !seen[w.index()] {
                 seen[w.index()] = true;
                 parent[w.index()] = Some(u);
@@ -149,7 +149,7 @@ pub fn shortest_path_tree(
             continue;
         }
         done[u] = true;
-        for &(eid, w) in g.incident(NodeId(u as u32)) {
+        for (eid, w) in g.incident(NodeId(u as u32)) {
             let nd = dist[u] + length(eid);
             if nd < dist[w.index()] {
                 dist[w.index()] = nd;

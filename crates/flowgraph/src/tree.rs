@@ -127,7 +127,7 @@ impl RootedTree {
         seen[root.index()] = true;
         queue.push_back(root);
         while let Some(u) = queue.pop_front() {
-            for &(eid, w) in adj.incident(u) {
+            for (eid, w) in adj.incident(u) {
                 if !seen[w.index()] {
                     seen[w.index()] = true;
                     parent[w.index()] = Some(u);

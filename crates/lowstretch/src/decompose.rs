@@ -93,7 +93,7 @@ pub fn split_graph(
         if item.has_via {
             tree_edges.push(EdgeId(item.via_edge));
         }
-        for &(eid, w) in g.incident(NodeId(v as u32)) {
+        for (eid, w) in g.incident(NodeId(v as u32)) {
             if !active(eid) || owner[w.index()].is_some() {
                 continue;
             }

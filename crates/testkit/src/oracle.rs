@@ -13,7 +13,7 @@
 //! additionally validated edge by edge for feasibility and conservation.
 
 use crate::families::Instance;
-use capprox::RackeConfig;
+use capprox::{HierarchyConfig, RackeConfig};
 use maxflow::MaxFlowConfig;
 
 /// Oracle tolerances and the solver configuration under test.
@@ -37,6 +37,10 @@ pub struct OracleConfig {
     /// ([`RackeConfig::with_target_quality`]); `None` keeps the full
     /// Lemma 3.3 schedule.
     pub target_quality: Option<f64>,
+    /// Build the congestion approximator through the recursive j-tree
+    /// hierarchy ([`HierarchyConfig`]) instead of the direct Räcke
+    /// construction; `None` keeps the direct build.
+    pub hierarchy: Option<HierarchyConfig>,
 }
 
 impl Default for OracleConfig {
@@ -49,6 +53,7 @@ impl Default for OracleConfig {
             phases: 3,
             seed: 2,
             target_quality: None,
+            hierarchy: None,
         }
     }
 }
@@ -66,6 +71,7 @@ impl OracleConfig {
             alpha: None,
             max_iterations_per_phase: self.max_iterations_per_phase,
             phases: Some(self.phases),
+            hierarchy: self.hierarchy.clone(),
             ..Default::default()
         }
     }

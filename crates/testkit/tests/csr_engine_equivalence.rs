@@ -57,16 +57,16 @@ proptest! {
         let g = build_graph(n, &extras);
         let legacy = legacy_incidence(&g);
         for v in g.nodes() {
-            let csr_edges: Vec<EdgeId> = g.incident(v).iter().map(|&(e, _)| e).collect();
+            let csr_edges: Vec<EdgeId> = g.incident(v).iter().map(|(e, _)| e).collect();
             prop_assert_eq!(&csr_edges, &legacy[v.index()]);
             prop_assert_eq!(g.degree(v), legacy[v.index()].len());
             // Every CSR neighbor is the other endpoint of its edge.
-            for &(e, w) in g.incident(v) {
+            for (e, w) in g.incident(v) {
                 prop_assert_eq!(g.edge(e).other(v), w);
             }
             // neighbors() is exactly the incident slice view.
             let from_iter: Vec<(EdgeId, NodeId)> = g.neighbors(v).collect();
-            prop_assert_eq!(&from_iter[..], g.incident(v));
+            prop_assert_eq!(&from_iter[..], &g.incident(v).to_vec()[..]);
         }
     }
 

@@ -74,6 +74,41 @@ fn solver_stays_bracketed_over_trimmed_ensembles() {
 }
 
 #[test]
+fn solver_stays_bracketed_over_the_recursive_hierarchy() {
+    // Building the approximator through the recursive j-tree hierarchy
+    // (Theorem 8.10) must keep the `(1 ± ε)`-style bracket on every oracle
+    // family: the lifted trees are genuine spanning trees of the input, so
+    // only the quality (and hence the slack) may degrade, never soundness.
+    let config = OracleConfig {
+        hierarchy: Some(
+            maxflow::HierarchyConfig::default()
+                .with_direct_threshold(16)
+                .with_chains(2)
+                .with_trees_per_chain(Some(2)),
+        ),
+        // The hierarchy trades approximator quality (a larger α) for build
+        // scalability, so the gradient descent needs a bigger budget and a
+        // wider floor than the direct build to converge on the same bracket.
+        quality_slack: 0.45,
+        max_iterations_per_phase: 12_000,
+        ..OracleConfig::default()
+    };
+    let mut checked = 0;
+    for inst in oracle_families(25, 7) {
+        let report = check_solver_against_exact(&inst, &config).unwrap_or_else(|e| panic!("{e}"));
+        assert!(
+            report.ratio >= config.quality_floor() && report.ratio <= 1.0 + 1e-9,
+            "family {} over the hierarchy: ratio {} outside [{}, 1]",
+            report.family,
+            report.ratio,
+            config.quality_floor()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 4, "the hierarchy must cover all oracle families");
+}
+
+#[test]
 fn exact_baselines_agree_on_all_oracle_families() {
     for inst in oracle_families(30, 5) {
         check_exact_baselines_agree(&inst, 1e-6).unwrap_or_else(|e| panic!("{e}"));
