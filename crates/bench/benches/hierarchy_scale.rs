@@ -8,7 +8,13 @@
 //! * `prepare/<instance>` — `PreparedMaxFlow::prepare` with the recursive
 //!   hierarchy (cut sparsifier → j-tree → recurse, Theorem 8.10);
 //! * `queries64_warm/<instance>` — 64 mixed s–t queries through the warm
-//!   session;
+//!   session, one `max_flow` call per query (the serving baseline; before
+//!   the blocked engine this is exactly what `max_flow_batch` executed);
+//! * `queries64_batched/<instance>` — the same 64 queries through
+//!   `max_flow_batch`, i.e. the blocked multi-RHS gradient engine that
+//!   advances several lanes per operator sweep — 4 on the 10k instances,
+//!   2 at a million nodes where the lane-major working set outgrows the
+//!   cache (the PR-9 acceptance numbers in `BENCH_pr9.json`);
 //!
 //! plus one hand-written `hierarchy_scale_mem` record per instance carrying
 //! the peak RSS (`VmHWM` from `/proc/self/status`) and the measured
@@ -155,7 +161,19 @@ fn bench_hierarchy_scale(c: &mut Criterion) {
         });
         let mut session = PreparedMaxFlow::prepare(&g, &config).expect("instance is connected");
         group.throughput(Throughput::Elements(QUERIES as u64));
+        // Baseline: one full gradient descent per query. Warm starts are off
+        // in the serving config, so the session is history-free and the two
+        // query arms below answer byte-identically — only the engine differs.
         group.bench_with_input(BenchmarkId::new("queries64_warm", name), &g, |b, _| {
+            b.iter(|| {
+                pairs
+                    .iter()
+                    .map(|&(s, t)| session.max_flow(s, t).expect("valid terminals").value)
+                    .sum::<f64>()
+            })
+        });
+        // Blocked engine: the same 64 queries, several lanes per sweep.
+        group.bench_with_input(BenchmarkId::new("queries64_batched", name), &g, |b, _| {
             b.iter(|| {
                 let results = session.max_flow_batch(&pairs).expect("valid terminals");
                 results.iter().map(|r| r.value).sum::<f64>()

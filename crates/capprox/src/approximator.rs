@@ -56,6 +56,30 @@ pub struct CongestionApproximator {
     hierarchy: Option<HierarchyStats>,
 }
 
+/// Dispatches a lane-blocked kernel call to a monomorphized instantiation
+/// for the common lane counts (`K = 1..=8`, the session block width and its
+/// compaction tails) and to the dynamic fallback (`K = 0`, meaning "read the
+/// runtime lane count") otherwise. The lane-inner loops of the blocked
+/// kernels only vectorize when the trip count is a compile-time constant;
+/// with a runtime `k` the autovectorizer gives up and the blocked sweeps run
+/// *slower* than `k` scalar sweeps. Every instantiation executes the exact
+/// same operations in the same order, so byte-identity is unaffected.
+macro_rules! lane_dispatch {
+    ($k:expr, $slf:ident.$f:ident($($args:expr),* $(,)?)) => {
+        match $k {
+            1 => $slf.$f::<1>($($args),*),
+            2 => $slf.$f::<2>($($args),*),
+            3 => $slf.$f::<3>($($args),*),
+            4 => $slf.$f::<4>($($args),*),
+            5 => $slf.$f::<5>($($args),*),
+            6 => $slf.$f::<6>($($args),*),
+            7 => $slf.$f::<7>($($args),*),
+            8 => $slf.$f::<8>($($args),*),
+            _ => $slf.$f::<0>($($args),*),
+        }
+    };
+}
+
 /// Flattened, level-ordered view of one capacitated tree (see the module
 /// docs): node `node_at_slot[i]` occupies slot `i`, slots follow the tree's
 /// BFS preorder, and `parent_slot[i] < i` for every non-root slot.
@@ -168,6 +192,160 @@ impl TreeSlots {
     fn add_potentials_from_slots(&self, buf: &[f64], potentials: &mut [f64]) {
         for (p, &slot) in potentials.iter_mut().zip(&self.slot_of_node) {
             *p += buf[slot as usize];
+        }
+    }
+
+    /// Blocked counterpart of [`Self::subtree_sums_to_slots`]: `values_block`
+    /// holds `k` lane-major right-hand sides (`values_block[v*k + l]` is lane
+    /// `l` of node `v`) and `buf` receives the `k` subtree-sum lanes of every
+    /// slot. The sweep is element-outer / lane-inner, so each lane sees
+    /// exactly the additions of the `k = 1` sweep in the same order — every
+    /// lane is byte-identical to a scalar evaluation of that right-hand side,
+    /// while the `parent_slot` walk (the bandwidth-bound part at scale) is
+    /// paid once for all `k` lanes.
+    fn subtree_sums_to_slots_block(&self, values_block: &[f64], k: usize, buf: &mut [f64]) {
+        lane_dispatch!(k, self.subtree_sums_to_slots_impl(values_block, k, buf));
+    }
+
+    #[inline(always)]
+    fn subtree_sums_to_slots_impl<const K: usize>(
+        &self,
+        values_block: &[f64],
+        k_dyn: usize,
+        buf: &mut [f64],
+    ) {
+        let k = if K > 0 { K } else { k_dyn };
+        for (chunk, &v) in buf.chunks_exact_mut(k).zip(&self.node_at_slot) {
+            chunk.copy_from_slice(&values_block[v as usize * k..][..k]);
+        }
+        for i in (1..self.parent_slot.len()).rev() {
+            let p = self.parent_slot[i] as usize;
+            // Parents precede children in the level order (`p < i`), so the
+            // parent window and the child window are disjoint; the split lets
+            // the compiler see that and keep the lane loop vectorized.
+            let (head, tail) = buf.split_at_mut(i * k);
+            let parent = &mut head[p * k..p * k + k];
+            for (dst, &add) in parent.iter_mut().zip(&tail[..k]) {
+                *dst += add;
+            }
+        }
+    }
+
+    /// Blocked counterpart of [`Self::rows_from_slots`]: divides every lane
+    /// of the slot-space subtree sums by the (lane-independent) cut capacity
+    /// and gathers the rows back into node order, lane-major.
+    fn rows_from_slots_block(&self, buf: &[f64], k: usize, out: &mut [f64]) {
+        lane_dispatch!(k, self.rows_from_slots_impl(buf, k, out));
+    }
+
+    #[inline(always)]
+    fn rows_from_slots_impl<const K: usize>(&self, buf: &[f64], k_dyn: usize, out: &mut [f64]) {
+        let k = if K > 0 { K } else { k_dyn };
+        for (chunk, &slot) in out.chunks_exact_mut(k).zip(&self.slot_of_node) {
+            let cap = self.cut_capacity[slot as usize];
+            if cap > 0.0 {
+                let src = &buf[slot as usize * k..][..k];
+                for (r, &sum) in chunk.iter_mut().zip(src) {
+                    *r = sum / cap;
+                }
+            } else {
+                chunk.fill(0.0);
+            }
+        }
+    }
+
+    /// One tree's `k` lanes of `R·b` rows in one slot walk. `buf` is a
+    /// `slots × k` scratch.
+    fn apply_rows_block(&self, values_block: &[f64], k: usize, buf: &mut [f64], out: &mut [f64]) {
+        self.subtree_sums_to_slots_block(values_block, k, buf);
+        self.rows_from_slots_block(buf, k, out);
+    }
+
+    /// Blocked counterpart of [`Self::prices_to_slots`]: gathers `k` lanes of
+    /// one tree's row-indexed prices into slot space, dividing each lane by
+    /// the cut capacity.
+    fn prices_to_slots_block(&self, y_rows_block: &[f64], k: usize, prices: &mut [f64]) {
+        lane_dispatch!(k, self.prices_to_slots_impl(y_rows_block, k, prices));
+    }
+
+    #[inline(always)]
+    fn prices_to_slots_impl<const K: usize>(
+        &self,
+        y_rows_block: &[f64],
+        k_dyn: usize,
+        prices: &mut [f64],
+    ) {
+        let k = if K > 0 { K } else { k_dyn };
+        for ((chunk, &v), &cap) in prices
+            .chunks_exact_mut(k)
+            .zip(&self.node_at_slot)
+            .zip(&self.cut_capacity)
+        {
+            if cap > 0.0 {
+                let src = &y_rows_block[v as usize * k..][..k];
+                for (p, &y) in chunk.iter_mut().zip(src) {
+                    *p = y / cap;
+                }
+            } else {
+                chunk.fill(0.0);
+            }
+        }
+    }
+
+    /// Blocked counterpart of [`Self::prefix_sums_in_slots`]: the forward
+    /// sweep walks the slots once and advances all `k` prefix-sum lanes,
+    /// each lane adding in the `k = 1` order.
+    fn prefix_sums_in_slots_block(&self, prices: &[f64], k: usize, buf: &mut [f64]) {
+        lane_dispatch!(k, self.prefix_sums_in_slots_impl(prices, k, buf));
+    }
+
+    #[inline(always)]
+    fn prefix_sums_in_slots_impl<const K: usize>(
+        &self,
+        prices: &[f64],
+        k_dyn: usize,
+        buf: &mut [f64],
+    ) {
+        let k = if K > 0 { K } else { k_dyn };
+        if self.parent_slot.is_empty() {
+            return;
+        }
+        for (b, &p) in buf[..k].iter_mut().zip(&prices[..k]) {
+            *b = 0.0 + p;
+        }
+        for i in 1..self.parent_slot.len() {
+            let p = self.parent_slot[i] as usize;
+            // `p < i` (parents precede children), so the parent window is
+            // entirely inside `head` and disjoint from the slot being written.
+            let (head, tail) = buf.split_at_mut(i * k);
+            let parent = &head[p * k..p * k + k];
+            let src = &prices[i * k..i * k + k];
+            for ((dst, &a), &b) in tail[..k].iter_mut().zip(parent).zip(src) {
+                *dst = a + b;
+            }
+        }
+    }
+
+    /// Blocked counterpart of [`Self::add_potentials_from_slots`]:
+    /// accumulates all `k` prefix-sum lanes into the lane-major node-indexed
+    /// potentials, in node order like the scalar loop.
+    fn add_potentials_from_slots_block(&self, buf: &[f64], k: usize, potentials: &mut [f64]) {
+        lane_dispatch!(k, self.add_potentials_from_slots_impl(buf, k, potentials));
+    }
+
+    #[inline(always)]
+    fn add_potentials_from_slots_impl<const K: usize>(
+        &self,
+        buf: &[f64],
+        k_dyn: usize,
+        potentials: &mut [f64],
+    ) {
+        let k = if K > 0 { K } else { k_dyn };
+        for (chunk, &slot) in potentials.chunks_exact_mut(k).zip(&self.slot_of_node) {
+            let src = &buf[slot as usize * k..][..k];
+            for (p, &x) in chunk.iter_mut().zip(src) {
+                *p += x;
+            }
         }
     }
 }
@@ -646,6 +824,224 @@ impl CongestionApproximator {
         Ok(())
     }
 
+    /// Evaluates `R·b` for `k` right-hand sides in one walk over every
+    /// tree's slots — the blocked (multi-RHS) counterpart of
+    /// [`Self::apply_into`].
+    ///
+    /// # Lane layout
+    ///
+    /// Inputs and outputs are **lane-major**: `b_block[v*k + l]` is lane `l`
+    /// of node `v`'s demand, and `rows_block[(t*n + v)*k + l]` is lane `l` of
+    /// the row for node `v` of tree `t` (the `k = 1` row layout with `k`
+    /// contiguous lanes per row). The per-slot sweeps are element-outer /
+    /// lane-inner, so **each lane's floating-point sequence is exactly the
+    /// `k = 1` sequence**: lane `l` of the result is byte-identical to
+    /// `apply_into` on lane `l`'s demand, while the level-ordered slot walk —
+    /// the memory-bandwidth-bound part on million-node instances — is paid
+    /// once per sweep instead of once per demand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DemandMismatch`] if `b_block.len()` is not
+    /// `k × num_nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `rows_block.len() != k × num_rows` (misuse of
+    /// the scratch-buffer protocol, not of the data).
+    pub fn apply_block_into(
+        &self,
+        b_block: &[f64],
+        k: usize,
+        rows_block: &mut [f64],
+        scratch: &mut OperatorScratch,
+    ) -> Result<(), GraphError> {
+        assert!(k > 0, "blocked operators need at least one lane");
+        if b_block.len() != self.num_nodes * k {
+            return Err(GraphError::DemandMismatch {
+                expected: self.num_nodes * k,
+                actual: b_block.len(),
+            });
+        }
+        assert_eq!(
+            rows_block.len(),
+            self.num_rows() * k,
+            "row block buffer length mismatch"
+        );
+        scratch.ensure_nodes(self.num_nodes * k);
+        for (slots, out) in self
+            .slots
+            .iter()
+            .zip(rows_block.chunks_mut(self.num_nodes * k))
+        {
+            slots.apply_rows_block(b_block, k, &mut scratch.node_a, out);
+        }
+        Ok(())
+    }
+
+    /// [`Self::apply_block_into`] with the per-tree blocked aggregations
+    /// fanned across the workers of `par`; byte-identical to the sequential
+    /// blocked evaluation (and hence to `k` scalar evaluations) for every
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::apply_block_into`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::apply_block_into`].
+    pub fn apply_block_into_par(
+        &self,
+        b_block: &[f64],
+        k: usize,
+        rows_block: &mut [f64],
+        scratch: &mut OperatorScratch,
+        par: &Parallelism,
+    ) -> Result<(), GraphError> {
+        if par.is_sequential() || self.trees.len() <= 1 || self.num_nodes == 0 {
+            return self.apply_block_into(b_block, k, rows_block, scratch);
+        }
+        assert!(k > 0, "blocked operators need at least one lane");
+        if b_block.len() != self.num_nodes * k {
+            return Err(GraphError::DemandMismatch {
+                expected: self.num_nodes * k,
+                actual: b_block.len(),
+            });
+        }
+        assert_eq!(
+            rows_block.len(),
+            self.num_rows() * k,
+            "row block buffer length mismatch"
+        );
+        let nk = self.num_nodes * k;
+        scratch.ensure_tree_major(self.trees.len(), nk, false);
+        let tasks: Vec<(&TreeSlots, &mut [f64], &mut [f64])> = self
+            .slots
+            .iter()
+            .zip(rows_block.chunks_mut(nk))
+            .zip(scratch.tree_a.chunks_mut(nk))
+            .map(|((slots, out), tmp)| (slots, out, tmp))
+            .collect();
+        par.for_each_owned(tasks, |_, (slots, out, tmp)| {
+            slots.apply_rows_block(b_block, k, tmp, out);
+        });
+        Ok(())
+    }
+
+    /// Evaluates `Rᵀ·y` for `k` price vectors in one walk over every tree's
+    /// slots — the blocked counterpart of [`Self::apply_transpose_into`].
+    /// Lane layout as in [`Self::apply_block_into`]: `y_block[(t*n + v)*k + l]`
+    /// in, `potentials_block[v*k + l]` out, each lane byte-identical to the
+    /// scalar transpose on that lane's prices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DemandMismatch`] if `y_block.len()` is not
+    /// `k × num_rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `potentials_block.len() != k × num_nodes`
+    /// (misuse of the scratch-buffer protocol, not of the data).
+    pub fn apply_transpose_block_into(
+        &self,
+        y_block: &[f64],
+        k: usize,
+        potentials_block: &mut [f64],
+        scratch: &mut OperatorScratch,
+    ) -> Result<(), GraphError> {
+        assert!(k > 0, "blocked operators need at least one lane");
+        if y_block.len() != self.num_rows() * k {
+            return Err(GraphError::DemandMismatch {
+                expected: self.num_rows() * k,
+                actual: y_block.len(),
+            });
+        }
+        assert_eq!(
+            potentials_block.len(),
+            self.num_nodes * k,
+            "potential block buffer length mismatch"
+        );
+        potentials_block.fill(0.0);
+        scratch.ensure_nodes(self.num_nodes * k);
+        for (slots, y_rows) in self.slots.iter().zip(y_block.chunks(self.num_nodes * k)) {
+            slots.prices_to_slots_block(y_rows, k, &mut scratch.node_a);
+            slots.prefix_sums_in_slots_block(&scratch.node_a, k, &mut scratch.node_b);
+            slots.add_potentials_from_slots_block(&scratch.node_b, k, potentials_block);
+        }
+        Ok(())
+    }
+
+    /// [`Self::apply_transpose_block_into`] with the per-tree blocked prefix
+    /// sums fanned across the workers of `par`, followed by the fixed
+    /// tree-order reduction on the calling thread — byte-identical to the
+    /// sequential blocked evaluation for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::apply_transpose_block_into`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::apply_transpose_block_into`].
+    pub fn apply_transpose_block_into_par(
+        &self,
+        y_block: &[f64],
+        k: usize,
+        potentials_block: &mut [f64],
+        scratch: &mut OperatorScratch,
+        par: &Parallelism,
+    ) -> Result<(), GraphError> {
+        if par.is_sequential() || self.trees.len() <= 1 || self.num_nodes == 0 {
+            return self.apply_transpose_block_into(y_block, k, potentials_block, scratch);
+        }
+        assert!(k > 0, "blocked operators need at least one lane");
+        if y_block.len() != self.num_rows() * k {
+            return Err(GraphError::DemandMismatch {
+                expected: self.num_rows() * k,
+                actual: y_block.len(),
+            });
+        }
+        assert_eq!(
+            potentials_block.len(),
+            self.num_nodes * k,
+            "potential block buffer length mismatch"
+        );
+        let nk = self.num_nodes * k;
+        scratch.ensure_tree_major(self.trees.len(), nk, true);
+        struct TransposeBlockTask<'a> {
+            slots: &'a TreeSlots,
+            y_rows: &'a [f64],
+            prices: &'a mut [f64],
+            prefix: &'a mut [f64],
+        }
+        let tasks: Vec<TransposeBlockTask<'_>> = self
+            .slots
+            .iter()
+            .zip(y_block.chunks(nk))
+            .zip(scratch.tree_a.chunks_mut(nk))
+            .zip(scratch.tree_b.chunks_mut(nk))
+            .map(|(((slots, y_rows), prices), prefix)| TransposeBlockTask {
+                slots,
+                y_rows,
+                prices,
+                prefix,
+            })
+            .collect();
+        par.for_each_owned(tasks, |_, task| {
+            task.slots
+                .prices_to_slots_block(task.y_rows, k, task.prices);
+            task.slots
+                .prefix_sums_in_slots_block(task.prices, k, task.prefix);
+        });
+        potentials_block.fill(0.0);
+        for (slots, prefix) in self.slots.iter().zip(scratch.tree_b.chunks(nk)) {
+            slots.add_potentials_from_slots_block(prefix, k, potentials_block);
+        }
+        Ok(())
+    }
+
     /// Measured approximation factor for a specific demand:
     /// `opt_estimate / ‖Rb‖_∞`, where the optimum is estimated by the best
     /// tree routing (an upper bound on `opt`, so the returned value is an
@@ -901,6 +1297,118 @@ mod tests {
         assert_eq!(stats.num_rows, 5 * 16);
         assert!(stats.provable_alpha >= 1.0);
         assert_eq!(approx.num_nodes(), 16);
+    }
+
+    #[test]
+    fn blocked_operators_match_k_scalar_applies_byte_for_byte() {
+        use parallel::Parallelism;
+        let g = gen::random_gnp(23, 0.3, (1.0, 5.0), 31);
+        let approx = build(&g, 4, 7);
+        let n = approx.num_nodes();
+        let rows_n = approx.num_rows();
+        let mut rng = gen::rng(41);
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for k in [1usize, 2, 3, 8] {
+            // k random demands + k random price vectors.
+            let demands: Vec<Demand> = (0..k)
+                .map(|_| {
+                    let mut b = Demand::zeros(n);
+                    for v in 0..n {
+                        b.set(NodeId(v as u32), rand::Rng::gen_range(&mut rng, -2.0..2.0));
+                    }
+                    b
+                })
+                .collect();
+            let ys: Vec<Vec<f64>> = (0..k)
+                .map(|_| {
+                    (0..rows_n)
+                        .map(|_| rand::Rng::gen_range(&mut rng, -1.0..1.0))
+                        .collect()
+                })
+                .collect();
+            // Pack lane-major.
+            let mut b_block = vec![0.0; n * k];
+            for (l, b) in demands.iter().enumerate() {
+                for (v, &x) in b.values().iter().enumerate() {
+                    b_block[v * k + l] = x;
+                }
+            }
+            let mut y_block = vec![0.0; rows_n * k];
+            for (l, y) in ys.iter().enumerate() {
+                for (r, &x) in y.iter().enumerate() {
+                    y_block[r * k + l] = x;
+                }
+            }
+            let mut scratch = OperatorScratch::default();
+            let mut rows_block = vec![0.0; rows_n * k];
+            approx
+                .apply_block_into(&b_block, k, &mut rows_block, &mut scratch)
+                .unwrap();
+            let mut pot_block = vec![0.0; n * k];
+            approx
+                .apply_transpose_block_into(&y_block, k, &mut pot_block, &mut scratch)
+                .unwrap();
+            for l in 0..k {
+                let scalar_rows = approx.apply(&demands[l]).unwrap();
+                let lane_rows: Vec<f64> = (0..rows_n).map(|r| rows_block[r * k + l]).collect();
+                assert_eq!(
+                    bits(&lane_rows),
+                    bits(&scalar_rows),
+                    "apply lane {l} of {k}"
+                );
+                let scalar_pot = approx.apply_transpose(&ys[l]).unwrap();
+                let lane_pot: Vec<f64> = (0..n).map(|v| pot_block[v * k + l]).collect();
+                assert_eq!(
+                    bits(&lane_pot),
+                    bits(&scalar_pot),
+                    "transpose lane {l} of {k}"
+                );
+            }
+            // The parallel blocked variants stay byte-identical too.
+            for threads in [2usize, 4] {
+                let par = Parallelism::with_threads(threads);
+                let mut par_scratch = OperatorScratch::default();
+                let mut par_rows = vec![0.0; rows_n * k];
+                approx
+                    .apply_block_into_par(&b_block, k, &mut par_rows, &mut par_scratch, &par)
+                    .unwrap();
+                assert_eq!(bits(&par_rows), bits(&rows_block), "par apply k={k}");
+                let mut par_pot = vec![0.0; n * k];
+                approx
+                    .apply_transpose_block_into_par(
+                        &y_block,
+                        k,
+                        &mut par_pot,
+                        &mut par_scratch,
+                        &par,
+                    )
+                    .unwrap();
+                assert_eq!(bits(&par_pot), bits(&pot_block), "par transpose k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_operators_report_dimension_mismatches() {
+        let g = gen::grid(3, 3, 1.0);
+        let approx = build(&g, 2, 5);
+        let mut scratch = OperatorScratch::default();
+        let mut rows = vec![0.0; approx.num_rows() * 2];
+        assert_eq!(
+            approx.apply_block_into(&[0.0; 4], 2, &mut rows, &mut scratch),
+            Err(GraphError::DemandMismatch {
+                expected: 18,
+                actual: 4
+            })
+        );
+        let mut pot = vec![0.0; approx.num_nodes() * 2];
+        assert_eq!(
+            approx.apply_transpose_block_into(&[0.0; 5], 2, &mut pot, &mut scratch),
+            Err(GraphError::DemandMismatch {
+                expected: approx.num_rows() * 2,
+                actual: 5
+            })
+        );
     }
 
     #[test]

@@ -574,6 +574,783 @@ pub fn almost_route_warm_with(
     }
 }
 
+/// Dispatches a lane-blocked kernel to a monomorphized instantiation for the
+/// session block widths (`K = 1..=8`) and to the dynamic fallback (`K = 0`,
+/// meaning "read the runtime lane count") otherwise — the lane-inner loops
+/// only vectorize with a compile-time trip count. Same operations in the
+/// same order for every instantiation, so byte-identity is unaffected.
+macro_rules! lane_dispatch {
+    ($k:expr, $f:ident($($args:expr),* $(,)?)) => {
+        match $k {
+            1 => $f::<1>($($args),*),
+            2 => $f::<2>($($args),*),
+            3 => $f::<3>($($args),*),
+            4 => $f::<4>($($args),*),
+            5 => $f::<5>($($args),*),
+            6 => $f::<6>($($args),*),
+            7 => $f::<7>($($args),*),
+            8 => $f::<8>($($args),*),
+            _ => $f::<0>($($args),*),
+        }
+    };
+}
+
+/// Fused soft-max + gradient weights over `k` lane-major vectors — the
+/// blocked counterpart of [`smax_and_weights_into`]. `values[i*k + l]` is
+/// element `i` of lane `l`; the soft-max of lane `l` lands in `phis[l]` and
+/// its normalized weights in `out[i*k + l]`.
+///
+/// Byte-identity: the scalar kernel accumulates element `i` into split
+/// accumulator `i % 4` (remainder elements into accumulator 0) and reduces
+/// `(a0 + a1) + (a2 + a3)`; this kernel keeps four accumulators **per lane**
+/// and assigns element `i` of every lane to the same accumulator index, so
+/// each lane's additions happen in the scalar order on the scalar values.
+///
+/// `in_scale`/`out_scale` fuse an element-wise pre-multiply of the input and
+/// post-multiply of the weights into the soft-max sweeps. The products are
+/// the exact multiplications the caller would otherwise issue in separate
+/// passes over the block (`t = in_scale·y` before the max/exp folds,
+/// `w = (w / sum)·out_scale` after the divide), so fusing them saves two
+/// full memory round-trips over the block without changing a single bit of
+/// the result. Pass `1.0` for a plain soft-max: IEEE multiplication by one
+/// is an exact identity.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths disagree with `k` (`out` must match
+/// `values`, `maxes`/`phis` must hold `k` entries, `acc` must hold `4k`).
+#[allow(clippy::too_many_arguments)]
+fn smax_and_weights_block_into(
+    values: &[f64],
+    k: usize,
+    in_scale: f64,
+    out_scale: f64,
+    out: &mut [f64],
+    maxes: &mut [f64],
+    acc: &mut [f64],
+    phis: &mut [f64],
+) {
+    assert_eq!(out.len(), values.len(), "weight block length mismatch");
+    assert!(values.len().is_multiple_of(k), "value block not lane-major");
+    assert_eq!(maxes.len(), k, "max buffer length mismatch");
+    assert_eq!(acc.len(), 4 * k, "accumulator buffer length mismatch");
+    assert_eq!(phis.len(), k, "soft-max buffer length mismatch");
+    lane_dispatch!(
+        k,
+        smax_and_weights_block_impl(values, k, in_scale, out_scale, out, maxes, acc, phis)
+    );
+}
+
+/// Monomorphized body of [`smax_and_weights_block_into`]: `K > 0` pins the
+/// lane count at compile time so the lane-inner loops vectorize; `K = 0`
+/// reads the runtime `k_dyn`. Identical operations in identical order for
+/// either path.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn smax_and_weights_block_impl<const K: usize>(
+    values: &[f64],
+    k_dyn: usize,
+    in_scale: f64,
+    out_scale: f64,
+    out: &mut [f64],
+    maxes: &mut [f64],
+    acc: &mut [f64],
+    phis: &mut [f64],
+) {
+    let k = if K > 0 { K } else { k_dyn };
+    let len = values.len() / k;
+    if len == 0 {
+        phis.fill(0.0);
+        return;
+    }
+    maxes.fill(0.0);
+    for chunk in values.chunks_exact(k) {
+        for (m, &y) in maxes.iter_mut().zip(chunk) {
+            *m = m.max((in_scale * y).abs());
+        }
+    }
+    acc.fill(0.0);
+    let main = (len / 4) * 4;
+    for i in 0..len {
+        // The scalar kernel's chunks_exact(4) lanes; trailing elements fold
+        // into accumulator 0 exactly like its remainder loop. Accumulators
+        // are slot-major (`acc[slot*k + l]`) so every stream this loop
+        // touches — values, weights and the accumulator row — is a
+        // contiguous k-wide window, keeping the exp-heavy body vectorized.
+        let slot = if i < main { i % 4 } else { 0 };
+        let row = &mut acc[slot * k..slot * k + k];
+        let src = &values[i * k..i * k + k];
+        let dst = &mut out[i * k..i * k + k];
+        for l in 0..k {
+            let y = in_scale * src[l];
+            let m = maxes[l];
+            let e1 = exp_nonpos(y - m);
+            let e2 = exp_nonpos(-y - m);
+            row[l] += e1 + e2;
+            dst[l] = e1 - e2;
+        }
+    }
+    for l in 0..k {
+        let sum = (acc[l] + acc[k + l]) + (acc[2 * k + l] + acc[3 * k + l]);
+        phis[l] = maxes[l] + sum.ln();
+        // Carry the sum for the divide pass in the freed max slot.
+        maxes[l] = sum;
+    }
+    for chunk in out.chunks_exact_mut(k) {
+        for (w, &s) in chunk.iter_mut().zip(&*maxes) {
+            *w = *w / s * out_scale;
+        }
+    }
+}
+
+/// Reusable lane-major buffers for the blocked multi-demand driver
+/// [`almost_route_block`]: one set of edge/node/row buffers with `k`
+/// contiguous lanes per element, sized once per (graph, approximator, lane
+/// count) shape so the blocked gradient loop allocates nothing in the steady
+/// state. A `maxflow::PreparedMaxFlow` session owns these across batched
+/// queries.
+#[derive(Debug, Clone, Default)]
+pub struct BlockScratch {
+    /// Working flows, `m × k` lane-major.
+    f: Vec<f64>,
+    /// Working demands `k_B · b` per lane, `n × k`.
+    b_work: Vec<f64>,
+    /// Pre-step flow snapshots for adaptive backtracking, `m × k`.
+    flow_backup: Vec<f64>,
+    /// `C⁻¹ f` lanes, `m × k`.
+    scaled_flow: Vec<f64>,
+    /// Congestion-term soft-max weights, `m × k`.
+    w1: Vec<f64>,
+    /// Residual demands `b − Bf`, `n × k`.
+    residual: Vec<f64>,
+    /// `2α · R(b − Bf)` lanes, `rows × k`; doubles as the price input.
+    rows: Vec<f64>,
+    /// Demand-term soft-max weights / prices, `rows × k`.
+    prices: Vec<f64>,
+    /// Node potentials `Rᵀ prices`, `n × k`.
+    potentials: Vec<f64>,
+    /// Gradient lanes, `m × k`.
+    grad: Vec<f64>,
+    /// Per-lane `max |y|` (and, transiently, exponential sums), `k`.
+    maxes: Vec<f64>,
+    /// Per-lane split accumulators, `4k`.
+    acc: Vec<f64>,
+    /// Per-lane potentials φ = φ₁ + φ₂, `k`.
+    phis: Vec<f64>,
+    /// Per-lane φ₁ staging, `k`.
+    phi1: Vec<f64>,
+    /// Lane-major demand packing area for norm evaluations, `n × k`.
+    pack: Vec<f64>,
+    /// Per-lane `‖R·b‖_∞` results, `k`.
+    norms: Vec<f64>,
+    /// Node-sized scratch borrowed by the blocked operator evaluations.
+    op: OperatorScratch,
+}
+
+impl BlockScratch {
+    /// Scratch pre-sized for `g`, `r` and `k` lanes (also happens lazily on
+    /// first use).
+    pub fn for_instance(g: &Graph, r: &CongestionApproximator, k: usize) -> Self {
+        let mut scratch = BlockScratch::default();
+        scratch.ensure(g, r, k.max(1));
+        scratch
+    }
+
+    fn ensure(&mut self, g: &Graph, r: &CongestionApproximator, k: usize) {
+        let (n, m, rows) = (g.num_nodes(), g.num_edges(), r.num_rows());
+        fn fit(buf: &mut Vec<f64>, len: usize) {
+            if buf.len() < len {
+                buf.resize(len, 0.0);
+            }
+        }
+        fit(&mut self.f, m * k);
+        fit(&mut self.b_work, n * k);
+        fit(&mut self.flow_backup, m * k);
+        fit(&mut self.scaled_flow, m * k);
+        fit(&mut self.w1, m * k);
+        fit(&mut self.residual, n * k);
+        fit(&mut self.rows, rows * k);
+        fit(&mut self.prices, rows * k);
+        fit(&mut self.potentials, n * k);
+        fit(&mut self.grad, m * k);
+        fit(&mut self.maxes, k);
+        fit(&mut self.acc, 4 * k);
+        fit(&mut self.phis, k);
+        fit(&mut self.phi1, k);
+        fit(&mut self.pack, n * k);
+        fit(&mut self.norms, k);
+        self.op.ensure_nodes(n * k);
+    }
+
+    /// `‖R·b‖_∞` for every demand in one blocked sweep: packs the demands
+    /// lane-major, applies `R` once, and folds each lane's rows in row order
+    /// (the scalar fold order), leaving the per-lane norms in the returned
+    /// slice. Bit-identical per lane to
+    /// [`AlmostRouteScratch::congestion_lower_bound`] on that demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any demand's length does not match the approximator's node
+    /// count.
+    pub(crate) fn congestion_lower_bounds(
+        &mut self,
+        g: &Graph,
+        r: &CongestionApproximator,
+        demands: &[&Demand],
+        par: &Parallelism,
+    ) -> &[f64] {
+        let k = demands.len();
+        if k == 0 {
+            return &[];
+        }
+        let n = r.num_nodes();
+        self.ensure(g, r, k);
+        for (l, b) in demands.iter().enumerate() {
+            assert_eq!(b.len(), n, "demand length mismatch");
+            for (v, &x) in b.values().iter().enumerate() {
+                self.pack[v * k + l] = x;
+            }
+        }
+        let rows_len = r.num_rows() * k;
+        r.apply_block_into_par(
+            &self.pack[..n * k],
+            k,
+            &mut self.rows[..rows_len],
+            &mut self.op,
+            par,
+        )
+        .expect("packed demands match the approximator");
+        let norms = &mut self.norms[..k];
+        norms.fill(0.0);
+        lane_dispatch!(k, row_abs_max_impl(&self.rows[..rows_len], k, norms));
+        &self.norms[..k]
+    }
+}
+
+/// Per-lane control state of the blocked driver: everything Algorithm 2
+/// tracks between iterations for one demand.
+struct LaneState {
+    /// Index into the caller's demand slice.
+    idx: usize,
+    total_scale: f64,
+    iterations: usize,
+    scaling_steps: usize,
+    step_scale: f64,
+    last_accepted: Option<f64>,
+    /// Whether this lane started from a warm flow (enables the scaling jump).
+    warm: bool,
+    potential: f64,
+    hit_cap: bool,
+    done: bool,
+}
+
+/// Runs Algorithm 2 for `k` demands in lockstep through one set of blocked
+/// operator sweeps — the multi-right-hand-side counterpart of
+/// [`almost_route_with`].
+///
+/// Every gradient iteration evaluates the potential and gradient of **all
+/// still-active lanes** with a single walk over the tree slots, edge list and
+/// soft-max buffers ([`CongestionApproximator::apply_block_into`] and
+/// friends), then advances each lane's own 17/16 scaling schedule, step size
+/// and termination test independently. Lanes that converge are compacted out,
+/// so finished demands stop paying for sweeps.
+///
+/// The per-lane floating-point sequence replicates the scalar driver exactly:
+/// `results[l]` is **byte-for-byte identical** to
+/// `almost_route_with(g, r, &demands[l], config, ..)` for every lane, every
+/// batch size and every thread count of `config.parallelism`.
+///
+/// # Panics
+///
+/// Panics if any demand does not match the graph's node count.
+pub fn almost_route_block(
+    g: &Graph,
+    r: &CongestionApproximator,
+    demands: &[Demand],
+    config: &AlmostRouteConfig,
+    scratch: &mut BlockScratch,
+) -> Vec<AlmostRouteResult> {
+    let refs: Vec<&Demand> = demands.iter().collect();
+    let warms: Vec<Option<&FlowVec>> = vec![None; demands.len()];
+    almost_route_block_warm(g, r, &refs, &warms, config, scratch)
+}
+
+/// [`almost_route_block`] with an optional warm-start flow per lane — the
+/// blocked counterpart of [`almost_route_warm_with`], with the same per-lane
+/// byte-identity guarantee.
+///
+/// # Panics
+///
+/// Panics if `warms.len() != demands.len()`, if any demand does not match
+/// the graph's node count, or if any warm flow does not match the edge count.
+pub fn almost_route_block_warm(
+    g: &Graph,
+    r: &CongestionApproximator,
+    demands: &[&Demand],
+    warms: &[Option<&FlowVec>],
+    config: &AlmostRouteConfig,
+    scratch: &mut BlockScratch,
+) -> Vec<AlmostRouteResult> {
+    let base_norms: Vec<f64> = scratch
+        .congestion_lower_bounds(g, r, demands, &config.parallelism)
+        .to_vec();
+    almost_route_block_with_norms(g, r, demands, warms, &base_norms, config, scratch)
+}
+
+/// [`almost_route_block_warm`] with the per-lane `‖R·b‖_∞` already in hand
+/// (the routing engine computes it for its own stopping rule; recomputing it
+/// here would repeat a full blocked operator sweep for bit-identical values).
+pub(crate) fn almost_route_block_with_norms(
+    g: &Graph,
+    r: &CongestionApproximator,
+    demands: &[&Demand],
+    warms: &[Option<&FlowVec>],
+    base_norms: &[f64],
+    config: &AlmostRouteConfig,
+    scratch: &mut BlockScratch,
+) -> Vec<AlmostRouteResult> {
+    assert_eq!(demands.len(), warms.len(), "one warm slot per demand");
+    assert_eq!(demands.len(), base_norms.len(), "one base norm per demand");
+    let k_total = demands.len();
+    let mut results: Vec<Option<AlmostRouteResult>> = (0..k_total).map(|_| None).collect();
+    if k_total == 0 {
+        return Vec::new();
+    }
+    for b in demands {
+        assert_eq!(b.len(), g.num_nodes(), "demand length mismatch");
+    }
+    let n = g.num_nodes().max(2) as f64;
+    let m = g.num_edges();
+    let eps = config.epsilon.clamp(1e-3, 1.0);
+    let alpha = config
+        .alpha
+        .unwrap_or_else(|| r.provable_alpha().clamp(1.0, 6.0))
+        .max(1.0);
+    let par = &config.parallelism;
+    let adaptive = config.adaptive_steps;
+    let target = 16.0 * n.ln() / eps;
+
+    // Degenerate lanes (zero demand or edgeless graph) return the zero flow
+    // immediately, like the scalar driver.
+    let mut lanes: Vec<LaneState> = Vec::with_capacity(k_total);
+    for (idx, &base_norm) in base_norms.iter().enumerate() {
+        if base_norm <= 0.0 || m == 0 {
+            results[idx] = Some(AlmostRouteResult {
+                flow: FlowVec::zeros(m),
+                iterations: 0,
+                scaling_steps: 0,
+                final_potential: 0.0,
+                hit_iteration_cap: false,
+            });
+        } else {
+            lanes.push(LaneState {
+                idx,
+                total_scale: target / (2.0 * alpha * base_norm),
+                iterations: 0,
+                scaling_steps: 0,
+                step_scale: 1.0,
+                last_accepted: None,
+                warm: warms[idx].is_some(),
+                potential: 0.0,
+                hit_cap: false,
+                done: false,
+            });
+        }
+    }
+
+    let mut k = lanes.len();
+    scratch.ensure(g, r, k.max(1));
+    // Lines 1–2 per lane: working demand `k_B · b` and the starting flow
+    // (warm flow in the working scale, zero otherwise). Per-element op
+    // sequence matches the scalar `clone()` + `scale(kb)`.
+    for (j, lane) in lanes.iter().enumerate() {
+        let kb = lane.total_scale;
+        for (v, &x) in demands[lane.idx].values().iter().enumerate() {
+            scratch.b_work[v * k + j] = x * kb;
+        }
+        match warms[lane.idx] {
+            Some(w) => {
+                assert_eq!(w.len(), m, "warm-start flow length mismatch");
+                for (e, &x) in w.values().iter().enumerate() {
+                    scratch.f[e * k + j] = x * kb;
+                }
+            }
+            None => {
+                for e in 0..m {
+                    scratch.f[e * k + j] = 0.0;
+                }
+            }
+        }
+    }
+
+    // What one round does to one lane's edge- and node-indexed arrays. The
+    // decision is made from scalar state (potential, δ, iteration counts)
+    // first, so the array updates can run as single fused element-outer
+    // passes below — a per-lane strided pass would touch every cache line of
+    // the k-wide buffers to update one lane, paying k× the bandwidth of the
+    // scalar driver's contiguous loops and forfeiting the blocked win.
+    #[derive(Clone, Copy)]
+    enum LaneAction {
+        /// Adaptive backtrack: restore the lane's flow from its snapshot.
+        Restore,
+        /// One 17/16 scaling round, preceded by an optional warm-start jump
+        /// (two separate multiplies, exactly like the scalar driver).
+        Scale { jump: Option<f64> },
+        /// Gradient step of this magnitude (snapshotting first when adaptive).
+        Step { step: f64 },
+        /// Terminated or undecided: leave the lane's arrays alone.
+        Hold,
+    }
+
+    let capacities = g.capacity_slice();
+    let mut actions: Vec<LaneAction> = Vec::with_capacity(k);
+    let mut deltas: Vec<f64> = vec![0.0; k];
+    while k > 0 {
+        potential_and_gradient_block(g, r, k, alpha, scratch, par);
+        let mut finished = false;
+        actions.clear();
+        actions.resize(k, LaneAction::Hold);
+
+        // Backtracking and the scaling schedule need only the potentials;
+        // lanes that fall through to the termination test need δ, computed
+        // in one fused walk afterwards.
+        let mut needs_delta = false;
+        for j in 0..k {
+            let phi = scratch.phis[j];
+            let lane = &mut lanes[j];
+
+            // Backtracking: undo an overshooting adaptive step, like the
+            // scalar driver's snapshot restore.
+            if adaptive {
+                if let Some(prev) = lane.last_accepted {
+                    if phi > prev {
+                        actions[j] = LaneAction::Restore;
+                        lane.step_scale = (lane.step_scale * 0.5).max(1.0 / 1024.0);
+                        lane.last_accepted = None;
+                        lane.iterations += 1;
+                        if lane.iterations >= config.max_iterations {
+                            lane.potential = prev;
+                            lane.hit_cap = true;
+                            lane.done = true;
+                            finished = true;
+                        }
+                        continue;
+                    }
+                }
+            }
+            lane.potential = phi;
+
+            // Lines 4–5: the 17/16 scaling schedule, with the warm-start
+            // jump on warm lanes (cold lanes never take it, exactly like the
+            // scalar driver).
+            if phi < target && lane.scaling_steps < 10_000 {
+                let mut jump_factor = None;
+                if lane.warm && phi.is_finite() && phi > 0.0 {
+                    let jump = ((target / phi).ln() / (17.0f64 / 16.0).ln() - 1.0).floor();
+                    let remaining = (10_000 - lane.scaling_steps) as f64 - 1.0;
+                    let jump = jump.min(remaining).max(0.0) as usize;
+                    if jump > 0 {
+                        let factor = (17.0f64 / 16.0).powi(jump as i32);
+                        jump_factor = Some(factor);
+                        lane.total_scale *= factor;
+                        lane.scaling_steps += jump;
+                    }
+                }
+                actions[j] = LaneAction::Scale { jump: jump_factor };
+                lane.total_scale *= 17.0 / 16.0;
+                lane.scaling_steps += 1;
+                lane.last_accepted = None;
+                continue;
+            }
+            needs_delta = true;
+        }
+
+        // Line 6: δ over each undecided lane's gradient — one walk over the
+        // gradient block, each lane accumulating in edge order like the
+        // scalar sum.
+        if needs_delta {
+            for d in deltas[..k].iter_mut() {
+                *d = 0.0;
+            }
+            for (chunk, &cap) in scratch.grad[..m * k].chunks_exact(k).zip(capacities) {
+                for (d, &gd) in deltas[..k].iter_mut().zip(chunk) {
+                    *d += (cap * gd).abs();
+                }
+            }
+        }
+        for j in 0..k {
+            if !matches!(actions[j], LaneAction::Hold) || lanes[j].done {
+                continue;
+            }
+            let lane = &mut lanes[j];
+            let delta = deltas[j];
+
+            if delta < eps / 4.0 {
+                lane.done = true;
+                finished = true;
+                continue;
+            }
+            if lane.iterations >= config.max_iterations {
+                lane.hit_cap = true;
+                lane.done = true;
+                finished = true;
+                continue;
+            }
+
+            // Line 8: the signed capacity step, stretched by the adaptive
+            // scale when enabled.
+            let step = delta / (1.0 + 4.0 * alpha * alpha) * lane.step_scale;
+            if adaptive {
+                lane.last_accepted = Some(lane.potential);
+                lane.step_scale = (lane.step_scale * 1.25).min(8.0);
+            }
+            actions[j] = LaneAction::Step { step };
+            lane.iterations += 1;
+        }
+
+        // One fused pass over the edge-indexed buffers applies every lane's
+        // action; lanes own disjoint strides, so per lane the writes are
+        // exactly the scalar driver's, in the scalar order.
+        let any_edge_work = actions[..k].iter().any(|a| !matches!(a, LaneAction::Hold));
+        if any_edge_work {
+            for (e, &cap) in capacities.iter().enumerate() {
+                let base = e * k;
+                for (j, action) in actions[..k].iter().enumerate() {
+                    match *action {
+                        LaneAction::Restore => {
+                            scratch.f[base + j] = scratch.flow_backup[base + j];
+                        }
+                        LaneAction::Scale { jump } => {
+                            if let Some(factor) = jump {
+                                scratch.f[base + j] *= factor;
+                            }
+                            scratch.f[base + j] *= 17.0 / 16.0;
+                        }
+                        LaneAction::Step { step } => {
+                            if adaptive {
+                                scratch.flow_backup[base + j] = scratch.f[base + j];
+                            }
+                            let gd = scratch.grad[base + j];
+                            if gd != 0.0 {
+                                scratch.f[base + j] += -gd.signum() * cap * step;
+                            }
+                        }
+                        LaneAction::Hold => {}
+                    }
+                }
+            }
+        }
+        // The scaling lanes' working demands, fused the same way.
+        let any_scale = actions[..k]
+            .iter()
+            .any(|a| matches!(a, LaneAction::Scale { .. }));
+        if any_scale {
+            for v in 0..g.num_nodes() {
+                let base = v * k;
+                for (j, action) in actions[..k].iter().enumerate() {
+                    if let LaneAction::Scale { jump } = *action {
+                        if let Some(factor) = jump {
+                            scratch.b_work[base + j] *= factor;
+                        }
+                        scratch.b_work[base + j] *= 17.0 / 16.0;
+                    }
+                }
+            }
+        }
+
+        if finished {
+            // Extract finished lanes (lines 10–11: unscale the flow), then
+            // compact the surviving lanes so converged demands stop paying
+            // for sweeps.
+            let keep: Vec<usize> = (0..k).filter(|&j| !lanes[j].done).collect();
+            for (j, lane) in lanes.iter().enumerate() {
+                if !lane.done {
+                    continue;
+                }
+                let mut flow = FlowVec::zeros(m);
+                for (e, x) in flow.values_mut().iter_mut().enumerate() {
+                    *x = scratch.f[e * k + j];
+                }
+                flow.scale(1.0 / lane.total_scale);
+                results[lane.idx] = Some(AlmostRouteResult {
+                    flow,
+                    iterations: lane.iterations,
+                    scaling_steps: lane.scaling_steps,
+                    final_potential: lane.potential,
+                    hit_iteration_cap: lane.hit_cap,
+                });
+            }
+            let new_k = keep.len();
+            if new_k > 0 && new_k < k {
+                compact_lanes(&mut scratch.f, m, k, &keep);
+                compact_lanes(&mut scratch.b_work, g.num_nodes(), k, &keep);
+                compact_lanes(&mut scratch.flow_backup, m, k, &keep);
+            }
+            let mut write = 0;
+            for j in 0..k {
+                if !lanes[j].done {
+                    lanes.swap(write, j);
+                    write += 1;
+                }
+            }
+            lanes.truncate(write);
+            k = new_k;
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every lane terminated"))
+        .collect()
+}
+
+/// In-place lane compaction from `old_k` to `keep.len()` lanes over `elems`
+/// elements. `keep` must be ascending; every write position `e*new_k + j`
+/// is then ≤ its read position `e*old_k + keep[j]`, and writes advance
+/// monotonically, so the forward pass never clobbers an unread value.
+fn compact_lanes(buf: &mut [f64], elems: usize, old_k: usize, keep: &[usize]) {
+    let new_k = keep.len();
+    for e in 0..elems {
+        for (j, &old_j) in keep.iter().enumerate() {
+            buf[e * new_k + j] = buf[e * old_k + old_j];
+        }
+    }
+}
+
+/// Blocked counterpart of [`potential_and_gradient_scratch`]: evaluates
+/// `φ(f)` of every lane into `scratch.phis[..k]` and the gradients into
+/// `scratch.grad` (lane-major), walking the edge list, tree slots and
+/// soft-max buffers once for all `k` lanes. Element-outer / lane-inner
+/// throughout, so each lane's floating-point sequence is the scalar one.
+fn potential_and_gradient_block(
+    g: &Graph,
+    r: &CongestionApproximator,
+    k: usize,
+    alpha: f64,
+    scratch: &mut BlockScratch,
+    par: &Parallelism,
+) {
+    let m = g.num_edges();
+    let n = g.num_nodes();
+    let rows_len = r.num_rows() * k;
+
+    // φ1 = smax(C⁻¹ f) per lane.
+    lane_dispatch!(
+        k,
+        scaled_flow_block_impl(g, &scratch.f, k, &mut scratch.scaled_flow)
+    );
+    smax_and_weights_block_into(
+        &scratch.scaled_flow[..m * k],
+        k,
+        1.0,
+        1.0,
+        &mut scratch.w1[..m * k],
+        &mut scratch.maxes[..k],
+        &mut scratch.acc[..4 * k],
+        &mut scratch.phi1[..k],
+    );
+
+    // φ2 = smax(2α R (b − Bf)) per lane.
+    flowgraph::residual_block_into(
+        g,
+        &scratch.b_work[..n * k],
+        &scratch.f[..m * k],
+        k,
+        &mut scratch.residual[..n * k],
+    );
+    r.apply_block_into_par(
+        &scratch.residual[..n * k],
+        k,
+        &mut scratch.rows[..rows_len],
+        &mut scratch.op,
+        par,
+    )
+    .expect("scratch residual matches the approximator");
+    // The 2α pre-scale of the rows and the 2α post-scale of the prices are
+    // fused into the soft-max sweeps: same multiplications in the same
+    // order, two fewer full passes over the `rows × k` block.
+    smax_and_weights_block_into(
+        &scratch.rows[..rows_len],
+        k,
+        2.0 * alpha,
+        2.0 * alpha,
+        &mut scratch.prices[..rows_len],
+        &mut scratch.maxes[..k],
+        &mut scratch.acc[..4 * k],
+        &mut scratch.phis[..k],
+    );
+    r.apply_transpose_block_into_par(
+        &scratch.prices[..rows_len],
+        k,
+        &mut scratch.potentials[..n * k],
+        &mut scratch.op,
+        par,
+    )
+    .expect("scratch prices match the approximator rows");
+
+    lane_dispatch!(
+        k,
+        gradient_block_impl(g, &scratch.w1, &scratch.potentials, k, &mut scratch.grad)
+    );
+    for l in 0..k {
+        scratch.phis[l] += scratch.phi1[l];
+    }
+}
+
+/// Per-lane `max |rows[i*k + l]|` folds in row order, with a monomorphized
+/// lane count (see [`lane_dispatch!`]).
+#[inline(always)]
+fn row_abs_max_impl<const K: usize>(rows: &[f64], k_dyn: usize, norms: &mut [f64]) {
+    let k = if K > 0 { K } else { k_dyn };
+    for chunk in rows.chunks_exact(k) {
+        for (nm, &y) in norms.iter_mut().zip(chunk) {
+            *nm = nm.max(y.abs());
+        }
+    }
+}
+
+/// `scaled_flow[e*k + l] = f[e*k + l] / cap(e)` with a monomorphized lane
+/// count (see [`lane_dispatch!`]).
+#[inline(always)]
+fn scaled_flow_block_impl<const K: usize>(g: &Graph, f: &[f64], k_dyn: usize, out: &mut [f64]) {
+    let k = if K > 0 { K } else { k_dyn };
+    for ((out_chunk, f_chunk), &cap) in out
+        .chunks_exact_mut(k)
+        .zip(f.chunks_exact(k))
+        .zip(g.capacity_slice())
+    {
+        for (o, &x) in out_chunk.iter_mut().zip(f_chunk) {
+            *o = x / cap;
+        }
+    }
+}
+
+/// `grad[e*k + l] = w1[e*k + l]/cap(e) + π[tail] − π[head]` with a
+/// monomorphized lane count (see [`lane_dispatch!`]).
+#[inline(always)]
+fn gradient_block_impl<const K: usize>(
+    g: &Graph,
+    w1: &[f64],
+    potentials: &[f64],
+    k_dyn: usize,
+    grad: &mut [f64],
+) {
+    let k = if K > 0 { K } else { k_dyn };
+    for (id, e) in g.edges() {
+        let cap = g.capacity(id);
+        let base = id.index() * k;
+        let w = &w1[base..base + k];
+        let gr = &mut grad[base..base + k];
+        let pt = &potentials[e.tail.index() * k..][..k];
+        let ph = &potentials[e.head.index() * k..][..k];
+        for l in 0..k {
+            let g1 = w[l] / cap;
+            let g2 = pt[l] - ph[l];
+            gr[l] = g1 + g2;
+        }
+    }
+}
+
 /// Evaluates `φ(f)` and `∂φ/∂f` for the working demand `b`.
 ///
 /// The second term's gradient is computed through node potentials, exactly as
@@ -782,5 +1559,121 @@ mod tests {
         );
         assert!(result.iterations <= 3);
         assert!(result.hit_iteration_cap);
+    }
+
+    fn assert_results_bit_identical(blocked: &AlmostRouteResult, scalar: &AlmostRouteResult) {
+        assert_eq!(blocked.iterations, scalar.iterations);
+        assert_eq!(blocked.scaling_steps, scalar.scaling_steps);
+        assert_eq!(blocked.hit_iteration_cap, scalar.hit_iteration_cap);
+        assert_eq!(
+            blocked.final_potential.to_bits(),
+            scalar.final_potential.to_bits(),
+            "final potential differs"
+        );
+        for (e, (b, s)) in blocked
+            .flow
+            .values()
+            .iter()
+            .zip(scalar.flow.values())
+            .enumerate()
+        {
+            assert_eq!(b.to_bits(), s.to_bits(), "flow differs at edge {e}");
+        }
+    }
+
+    #[test]
+    fn blocked_driver_matches_scalar_lanes_byte_for_byte() {
+        let g = gen::grid(4, 4, 1.0);
+        let r = approximator(&g, 4);
+        // Demands with different convergence speeds (exercises compaction)
+        // plus a zero demand (exercises the degenerate lane path).
+        let pairs = [(0, 15), (3, 12), (5, 10), (1, 1), (0, 15), (2, 13), (4, 11)];
+        let demands: Vec<Demand> = pairs
+            .iter()
+            .map(|&(s, t)| {
+                let amount = if s == t { 0.0 } else { 1.0 + 0.25 * s as f64 };
+                Demand::st(&g, NodeId(s), NodeId(t), amount)
+            })
+            .collect();
+        let mut scalar_scratch = AlmostRouteScratch::for_instance(&g, &r);
+        let mut block_scratch = BlockScratch::default();
+        for adaptive in [false, true] {
+            for warm_on in [false, true] {
+                let config = AlmostRouteConfig::default()
+                    .with_epsilon(0.4)
+                    .with_max_iterations(300)
+                    .with_adaptive_steps(adaptive);
+                // Warm flows: each demand's own cold answer (a realistic
+                // serving warm start).
+                let warm_flows: Vec<FlowVec> = demands
+                    .iter()
+                    .map(|b| almost_route_with(&g, &r, b, &config, &mut scalar_scratch).flow)
+                    .collect();
+                for k in [1usize, 2, 7] {
+                    let refs: Vec<&Demand> = demands.iter().take(k).collect();
+                    let warms: Vec<Option<&FlowVec>> =
+                        (0..k).map(|l| warm_on.then(|| &warm_flows[l])).collect();
+                    let blocked =
+                        almost_route_block_warm(&g, &r, &refs, &warms, &config, &mut block_scratch);
+                    assert_eq!(blocked.len(), k);
+                    for (l, blocked_result) in blocked.iter().enumerate() {
+                        let scalar = almost_route_warm_with(
+                            &g,
+                            &r,
+                            refs[l],
+                            &config,
+                            &mut scalar_scratch,
+                            warms[l],
+                        );
+                        assert_results_bit_identical(blocked_result, &scalar);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_driver_is_thread_count_invariant() {
+        let g = gen::grid(5, 5, 1.0);
+        let r = approximator(&g, 4);
+        let demands: Vec<Demand> = [(0, 24), (4, 20), (2, 22)]
+            .iter()
+            .map(|&(s, t)| Demand::st(&g, NodeId(s), NodeId(t), 1.5))
+            .collect();
+        let seq_config = AlmostRouteConfig::default()
+            .with_epsilon(0.4)
+            .with_max_iterations(200);
+        let mut scratch = BlockScratch::default();
+        let baseline = almost_route_block(&g, &r, &demands, &seq_config, &mut scratch);
+        for threads in [2, 4] {
+            let par_config = seq_config
+                .clone()
+                .with_parallelism(Parallelism::with_threads(threads));
+            let mut par_scratch = BlockScratch::default();
+            let par_results = almost_route_block(&g, &r, &demands, &par_config, &mut par_scratch);
+            for (b, s) in par_results.iter().zip(&baseline) {
+                assert_results_bit_identical(b, s);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_driver_handles_empty_and_degenerate_batches() {
+        let g = gen::grid(3, 3, 1.0);
+        let r = approximator(&g, 3);
+        let empty: Vec<Demand> = Vec::new();
+        let mut scratch = BlockScratch::for_instance(&g, &r, 4);
+        assert!(
+            almost_route_block(&g, &r, &empty, &AlmostRouteConfig::default(), &mut scratch)
+                .is_empty()
+        );
+        // An all-zero batch: every lane takes the degenerate path.
+        let zeros = vec![Demand::st(&g, NodeId(0), NodeId(8), 0.0); 3];
+        let results =
+            almost_route_block(&g, &r, &zeros, &AlmostRouteConfig::default(), &mut scratch);
+        for result in &results {
+            assert_eq!(result.iterations, 0);
+            assert!(result.flow.values().iter().all(|&x| x == 0.0));
+        }
     }
 }

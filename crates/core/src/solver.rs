@@ -15,7 +15,10 @@ use flowgraph::{max_weight_spanning_tree, Demand, FlowVec, Graph, GraphError, No
 use parallel::Parallelism;
 use serde::{Deserialize, Serialize};
 
-use crate::almost_route::{almost_route_warm_with, AlmostRouteConfig, AlmostRouteScratch};
+use crate::almost_route::{
+    almost_route_block_with_norms, almost_route_warm_with, AlmostRouteConfig, AlmostRouteScratch,
+    BlockScratch,
+};
 
 /// A session's memory of its last answered query, used to warm-start the next
 /// one when [`MaxFlowConfig::warm_start`] is enabled.
@@ -421,6 +424,131 @@ pub(crate) fn route_demand_engine(
     })
 }
 
+/// Blocked counterpart of [`route_demand_engine`]: routes `k` demands in
+/// lockstep through the multi-right-hand-side gradient driver, advancing the
+/// phase schedule per lane (a lane whose residual drops below its stop norm
+/// leaves the batch and stops paying for sweeps). `results[l]` is
+/// byte-identical to `route_demand_engine` on `demands[l]` with `warms[l]`.
+///
+/// Fails fast on the earliest (by lane index) invalid demand; per-lane
+/// validation happens before any gradient work, so an error never discards
+/// finished lanes.
+pub(crate) fn route_demand_block_engine(
+    g: &Graph,
+    r: &CongestionApproximator,
+    repair_tree: &RootedTree,
+    demands: &[&Demand],
+    config: &MaxFlowConfig,
+    scratch: &mut BlockScratch,
+    warms: &[Option<&FlowVec>],
+) -> Result<Vec<RoutingResult>, GraphError> {
+    debug_assert_eq!(demands.len(), warms.len());
+    if g.num_nodes() == 0 {
+        return Err(GraphError::Empty);
+    }
+    for b in demands {
+        if b.len() != g.num_nodes() {
+            return Err(GraphError::DemandMismatch {
+                expected: g.num_nodes(),
+                actual: b.len(),
+            });
+        }
+    }
+    let k = demands.len();
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let m2 = g.num_edges().max(2);
+    let phases = config
+        .phases
+        .unwrap_or((m2 as f64).log2().ceil() as usize + 1);
+    let ar_config = AlmostRouteConfig {
+        epsilon: config.epsilon.min(0.5),
+        alpha: config.alpha,
+        max_iterations: config.max_iterations_per_phase,
+        adaptive_steps: config.warm_start,
+        parallelism: config.parallelism,
+    };
+
+    let mut totals: Vec<FlowVec> = vec![FlowVec::zeros(g.num_edges()); k];
+    let mut iterations = vec![0usize; k];
+    let mut executed_phases = vec![0usize; k];
+    let mut residuals: Vec<Demand> = vec![Demand::zeros(g.num_nodes()); k];
+    let mut stop_norms = vec![0.0f64; k];
+    let mut active: Vec<usize> = (0..k).collect();
+
+    for phase in 0..phases {
+        if active.is_empty() {
+            break;
+        }
+        for &l in &active {
+            demands[l].residual_into(g, &totals[l], &mut residuals[l]);
+        }
+        // One blocked sweep computes every active lane's residual norm; the
+        // scalar engine's `initial_norm` is the phase-0 norm bit-for-bit
+        // (the residual of the zero flow is the demand itself), so the stop
+        // norms come for free here.
+        let refs: Vec<&Demand> = active.iter().map(|&l| &residuals[l]).collect();
+        let norms = scratch
+            .congestion_lower_bounds(g, r, &refs, &config.parallelism)
+            .to_vec();
+        if phase == 0 {
+            for (j, &l) in active.iter().enumerate() {
+                let initial = norms[j].max(f64::MIN_POSITIVE);
+                stop_norms[l] = initial * (config.epsilon * 1e-2).max(1e-6);
+            }
+        }
+        let mut still = Vec::with_capacity(active.len());
+        let mut still_norms = Vec::with_capacity(active.len());
+        for (j, &l) in active.iter().enumerate() {
+            if norms[j] <= stop_norms[l] {
+                continue;
+            }
+            still.push(l);
+            still_norms.push(norms[j]);
+        }
+        active = still;
+        if active.is_empty() {
+            break;
+        }
+        let refs: Vec<&Demand> = active.iter().map(|&l| &residuals[l]).collect();
+        let phase_warms: Vec<Option<&FlowVec>> = active
+            .iter()
+            .map(|&l| if phase == 0 { warms[l] } else { None })
+            .collect();
+        let ars = almost_route_block_with_norms(
+            g,
+            r,
+            &refs,
+            &phase_warms,
+            &still_norms,
+            &ar_config,
+            scratch,
+        );
+        for (j, &l) in active.iter().enumerate() {
+            iterations[l] += ars[j].iterations;
+            executed_phases[l] += 1;
+            totals[l].add_assign(&ars[j].flow);
+        }
+    }
+
+    let mut results = Vec::with_capacity(k);
+    for (l, total) in totals.into_iter().enumerate() {
+        demands[l].residual_into(g, &total, &mut residuals[l]);
+        let repair = repair_tree.route_demand_on_graph(g, &residuals[l])?;
+        let mut flow = total;
+        flow.add_assign(&repair);
+        let congestion = flow.max_congestion(g);
+        results.push(RoutingResult {
+            flow,
+            congestion,
+            iterations: iterations[l],
+            phases: executed_phases[l],
+        });
+    }
+    Ok(results)
+}
+
 /// Computes a `(1+ε)`-approximate maximum s–t flow (Theorem 1.1, centralized
 /// execution).
 ///
@@ -558,18 +686,43 @@ pub(crate) fn max_flow_engine(
     let rho = routing.congestion.max(1.0);
     let mut flow = routing.flow;
     flow.scale(1.0 / rho);
-    let mut value = target / rho;
+    let value = target / rho;
 
-    // Safety net: routing the unit demand over the best single tree of the
-    // ensemble and scaling it to feasibility is another feasible flow; keep
-    // whichever is better. This keeps the result sane even if the gradient
-    // descent was stopped early by the iteration cap. One pass computes each
-    // tree's routing congestion exactly once, tracking both the minimum (the
-    // certified congestion bound) and the first tree attaining it.
+    let (flow, value) = apply_tree_safety_net(g, r, s, t, &unit, flow, value)?;
+
+    Ok(MaxFlowResult {
+        flow,
+        value,
+        upper_bound: target,
+        iterations: routing.iterations,
+        phases: routing.phases,
+        approximator: r.stats(),
+    })
+}
+
+/// Safety net shared by the scalar and blocked query engines: routing the
+/// unit demand over the best single tree of the ensemble and scaling it to
+/// feasibility is another feasible flow; keep whichever is better. This
+/// keeps the result sane even if the gradient descent was stopped early by
+/// the iteration cap. One pass computes each tree's routing congestion
+/// exactly once — through the sparse s–t path walk
+/// (`st_tree_routing_congestion`, `O(tree depth)` instead of `O(n)` per
+/// tree, bit-identical to the dense scan because the off-path nodes
+/// contribute exact zeros to the max) — tracking both the minimum (the
+/// certified congestion bound) and the first tree attaining it.
+fn apply_tree_safety_net(
+    g: &Graph,
+    r: &CongestionApproximator,
+    s: NodeId,
+    t: NodeId,
+    unit: &Demand,
+    flow: FlowVec,
+    value: f64,
+) -> Result<(FlowVec, f64), GraphError> {
     let mut tree_congestion = f64::INFINITY;
     let mut best_tree = None;
     for tree in r.trees() {
-        let c = tree.tree_routing_congestion(g, &unit);
+        let c = tree.st_tree_routing_congestion(g, s, t, 1.0);
         tree_congestion = tree_congestion.min(c);
         match best_tree {
             // Strictly-less via `partial_cmp` rather than `c < best_c` so a
@@ -583,22 +736,131 @@ pub(crate) fn max_flow_engine(
         let tree_value = 1.0 / tree_congestion;
         if tree_value > value {
             if let Some((best, _)) = best_tree {
-                let mut tree_flow = best.tree.route_demand_on_graph(g, &unit)?;
+                let mut tree_flow = best.tree.route_demand_on_graph(g, unit)?;
                 tree_flow.scale(tree_value);
-                flow = tree_flow;
-                value = tree_value;
+                return Ok((tree_flow, tree_value));
             }
         }
     }
+    Ok((flow, value))
+}
 
-    Ok(MaxFlowResult {
-        flow,
-        value,
-        upper_bound: target,
-        iterations: routing.iterations,
-        phases: routing.phases,
-        approximator: r.stats(),
-    })
+/// Blocked counterpart of [`max_flow_engine`]: answers `k` terminal pairs in
+/// lockstep through [`route_demand_block_engine`]. `results[l]` is
+/// byte-identical to `max_flow_engine` on `pairs[l]` warm-started from
+/// `warm_in[l]`.
+///
+/// Warm state flows through explicitly instead of through the session slot:
+/// `warm_in[l]` seeds lane `l` (when [`MaxFlowConfig::warm_start`] is on and
+/// the cached pair matches), and the second return value carries a fresh
+/// [`WarmCache`] for every lane the caller flagged in `store` — the session
+/// layer decides which answers are worth keeping for later waves.
+///
+/// Fails fast on the earliest (by lane index) invalid pair; all per-lane
+/// validation happens before any gradient work.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+pub(crate) fn max_flow_block_engine(
+    g: &Graph,
+    r: &CongestionApproximator,
+    repair_tree: &RootedTree,
+    pairs: &[(NodeId, NodeId)],
+    config: &MaxFlowConfig,
+    scratch: &mut BlockScratch,
+    warm_in: &[Option<&WarmCache>],
+    store: &[bool],
+) -> Result<(Vec<MaxFlowResult>, Vec<Option<WarmCache>>), GraphError> {
+    debug_assert_eq!(pairs.len(), warm_in.len());
+    debug_assert_eq!(pairs.len(), store.len());
+    let k = pairs.len();
+    if k == 0 {
+        return Ok((Vec::new(), Vec::new()));
+    }
+    for &(s, t) in pairs {
+        for v in [s, t] {
+            if v.index() >= g.num_nodes() {
+                return Err(GraphError::NodeOutOfRange {
+                    node: v.index(),
+                    num_nodes: g.num_nodes(),
+                });
+            }
+        }
+        if s == t {
+            return Err(GraphError::SelfLoop { node: s.index() });
+        }
+    }
+
+    // Per-lane targets from one blocked sweep over the unit demands.
+    let units: Vec<Demand> = pairs
+        .iter()
+        .map(|&(s, t)| Demand::st(g, s, t, 1.0))
+        .collect();
+    let unit_refs: Vec<&Demand> = units.iter().collect();
+    let unit_congestions = scratch
+        .congestion_lower_bounds(g, r, &unit_refs, &config.parallelism)
+        .to_vec();
+    for &c in &unit_congestions {
+        if c <= 0.0 {
+            return Err(GraphError::NotConnected);
+        }
+    }
+    let targets: Vec<f64> = pairs
+        .iter()
+        .zip(&unit_congestions)
+        .map(|(&(s, t), &c)| {
+            let degree_cut = g.weighted_degree(s).min(g.weighted_degree(t));
+            (1.0 / c).min(degree_cut)
+        })
+        .collect();
+
+    let demands: Vec<Demand> = pairs
+        .iter()
+        .zip(&targets)
+        .map(|(&(s, t), &target)| Demand::st(g, s, t, target))
+        .collect();
+    let warm_flows: Vec<Option<FlowVec>> = pairs
+        .iter()
+        .enumerate()
+        .map(|(l, &(s, t))| {
+            if config.warm_start {
+                warm_in[l].and_then(|state| state.scaled_for(s, t, targets[l]))
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let demand_refs: Vec<&Demand> = demands.iter().collect();
+    let warm_refs: Vec<Option<&FlowVec>> = warm_flows.iter().map(|w| w.as_ref()).collect();
+    let routings =
+        route_demand_block_engine(g, r, repair_tree, &demand_refs, config, scratch, &warm_refs)?;
+
+    let mut results = Vec::with_capacity(k);
+    let mut warm_out: Vec<Option<WarmCache>> = vec![None; k];
+    for (l, routing) in routings.into_iter().enumerate() {
+        let (s, t) = pairs[l];
+        if config.warm_start && store[l] {
+            warm_out[l] = Some(WarmCache {
+                s,
+                t,
+                target: targets[l],
+                flow: routing.flow.clone(),
+            });
+        }
+        let rho = routing.congestion.max(1.0);
+        let mut flow = routing.flow;
+        flow.scale(1.0 / rho);
+        let value = targets[l] / rho;
+        let (flow, value) = apply_tree_safety_net(g, r, s, t, &units[l], flow, value)?;
+        results.push(MaxFlowResult {
+            flow,
+            value,
+            upper_bound: targets[l],
+            iterations: routing.iterations,
+            phases: routing.phases,
+            approximator: r.stats(),
+        });
+    }
+    Ok((results, warm_out))
 }
 
 #[cfg(test)]

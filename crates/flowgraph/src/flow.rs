@@ -306,6 +306,75 @@ impl Demand {
     }
 }
 
+/// Writes `k` lane-major excess vectors `Bf` into `out`: `f_block[e*k + l]`
+/// is lane `l`'s flow on edge `e`, `out[v*k + l]` receives lane `l`'s excess
+/// at node `v`. The edge walk is edge-outer / lane-inner, so each lane's
+/// accumulation order matches [`FlowVec::excess_into`] exactly and every lane
+/// is byte-identical to a scalar evaluation — while the incidence walk (the
+/// random-access part) is paid once for all `k` lanes.
+///
+/// # Panics
+///
+/// Panics if `f_block.len() != k × num_edges` or `out.len() != k × num_nodes`.
+pub fn excess_block_into(g: &Graph, f_block: &[f64], k: usize, out: &mut [f64]) {
+    assert_eq!(
+        f_block.len(),
+        g.num_edges() * k,
+        "flow block length mismatch"
+    );
+    assert_eq!(out.len(), g.num_nodes() * k, "excess block length mismatch");
+    out.fill(0.0);
+    // Monomorphize the lane-inner loop for the session block widths so it
+    // vectorizes (a runtime trip count defeats the autovectorizer); the
+    // dynamic fallback executes the identical operations in the same order.
+    match k {
+        1 => excess_block_impl::<1>(g, f_block, k, out),
+        2 => excess_block_impl::<2>(g, f_block, k, out),
+        3 => excess_block_impl::<3>(g, f_block, k, out),
+        4 => excess_block_impl::<4>(g, f_block, k, out),
+        5 => excess_block_impl::<5>(g, f_block, k, out),
+        6 => excess_block_impl::<6>(g, f_block, k, out),
+        7 => excess_block_impl::<7>(g, f_block, k, out),
+        8 => excess_block_impl::<8>(g, f_block, k, out),
+        _ => excess_block_impl::<0>(g, f_block, k, out),
+    }
+}
+
+#[inline(always)]
+fn excess_block_impl<const K: usize>(g: &Graph, f_block: &[f64], k_dyn: usize, out: &mut [f64]) {
+    let k = if K > 0 { K } else { k_dyn };
+    for (id, e) in g.edges() {
+        let src = id.index() * k;
+        let head = e.head.index() * k;
+        let tail = e.tail.index() * k;
+        for l in 0..k {
+            let f = f_block[src + l];
+            out[head + l] += f;
+            out[tail + l] -= f;
+        }
+    }
+}
+
+/// Writes `k` lane-major residual demands `b - Bf` into `out` — the blocked
+/// counterpart of [`Demand::residual_into`], with the same per-lane
+/// byte-identity guarantee as [`excess_block_into`].
+///
+/// # Panics
+///
+/// Panics if `b_block.len()` or `out.len()` is not `k × num_nodes`, or
+/// `f_block.len()` is not `k × num_edges`.
+pub fn residual_block_into(g: &Graph, b_block: &[f64], f_block: &[f64], k: usize, out: &mut [f64]) {
+    assert_eq!(
+        b_block.len(),
+        g.num_nodes() * k,
+        "demand block length mismatch"
+    );
+    excess_block_into(g, f_block, k, out);
+    for (r, b) in out.iter_mut().zip(b_block) {
+        *r = b - *r;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +455,44 @@ mod tests {
         assert!((r.get(NodeId(1)) + 2.0).abs() < 1e-12);
         assert!((r.get(NodeId(2)) - 2.0).abs() < 1e-12);
         assert!(r.is_balanced(1e-12));
+    }
+
+    #[test]
+    fn blocked_excess_and_residual_match_scalar_lanes() {
+        let g = path3();
+        let k = 3;
+        let flows = [
+            FlowVec::from_values(vec![1.0, 0.5]),
+            FlowVec::from_values(vec![-0.25, 2.0]),
+            FlowVec::from_values(vec![0.0, -1.5]),
+        ];
+        let demands = [
+            Demand::st(&g, NodeId(0), NodeId(2), 2.0),
+            Demand::st(&g, NodeId(2), NodeId(0), 1.0),
+            Demand::from_values(vec![0.5, -1.0, 0.5]),
+        ];
+        let mut f_block = vec![0.0; g.num_edges() * k];
+        let mut b_block = vec![0.0; g.num_nodes() * k];
+        for l in 0..k {
+            for e in 0..g.num_edges() {
+                f_block[e * k + l] = flows[l].values()[e];
+            }
+            for v in 0..g.num_nodes() {
+                b_block[v * k + l] = demands[l].values()[v];
+            }
+        }
+        let mut ex_block = vec![0.0; g.num_nodes() * k];
+        excess_block_into(&g, &f_block, k, &mut ex_block);
+        let mut res_block = vec![0.0; g.num_nodes() * k];
+        residual_block_into(&g, &b_block, &f_block, k, &mut res_block);
+        for l in 0..k {
+            let ex = flows[l].excess(&g);
+            let res = demands[l].residual(&g, &flows[l]);
+            for v in 0..g.num_nodes() {
+                assert_eq!(ex_block[v * k + l].to_bits(), ex[v].to_bits());
+                assert_eq!(res_block[v * k + l].to_bits(), res.values()[v].to_bits());
+            }
+        }
     }
 
     #[test]

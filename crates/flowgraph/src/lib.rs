@@ -47,7 +47,7 @@ pub mod unionfind;
 
 pub use csr::{Csr, IncidentIter, IncidentSlots};
 pub use cut::Cut;
-pub use flow::{Demand, FlowVec};
+pub use flow::{excess_block_into, residual_block_into, Demand, FlowVec};
 pub use graph::{Edge, EdgeId, Graph, GraphBuilder, GraphMemory, NodeId};
 pub use spanning::{
     bfs_tree, max_weight_spanning_tree, minimum_spanning_tree, random_spanning_tree,

@@ -437,6 +437,37 @@ impl RootedTree {
         worst
     }
 
+    /// [`Self::routing_congestion`] specialized to the two-spike demand that
+    /// ships `amount` units from `s` to `t`, in `O(depth)` instead of `O(n)`.
+    ///
+    /// Routing an s–t demand on a tree loads exactly the parent edges on the
+    /// `s → lca` and `t → lca` paths with `|amount|` units each; every other
+    /// tree edge carries zero. Because the max fold over non-negative terms
+    /// is order-independent and zero-flow edges contribute nothing (including
+    /// the `cap = 0` branch, which only fires for nonzero flow), the result
+    /// is bit-identical to [`Self::routing_congestion`] on
+    /// `Demand::st(g, s, t, amount)`.
+    pub fn st_routing_congestion(&self, g: &Graph, s: NodeId, t: NodeId, amount: f64) -> f64 {
+        let load = amount.abs();
+        let l = self.lca(s, t);
+        let mut worst: f64 = 0.0;
+        for leg in [s, t] {
+            let mut v = leg;
+            while v != l {
+                let cap = self
+                    .parent_capacity(g, v)
+                    .expect("non-root node of a capacitated tree has a parent capacity");
+                if cap > 0.0 {
+                    worst = worst.max(load / cap);
+                } else if load > 0.0 {
+                    worst = f64::INFINITY;
+                }
+                v = self.parent(v).expect("the lca is an ancestor of both legs");
+            }
+        }
+        worst
+    }
+
     /// Average stretch of the graph's edges with respect to this tree, in the
     /// paper's sense (Theorem 3.1): `Σ_e dT(u_e, v_e) / Σ_e ℓ(e)` where `ℓ`
     /// assigns each graph edge a length and the tree's parent edges inherit
@@ -624,6 +655,32 @@ mod tests {
         let g = diamond();
         let r = RootedTree::spanning_from_edges(&g, NodeId(0), &[EdgeId(0)]);
         assert!(matches!(r, Err(GraphError::NotConnected)));
+    }
+
+    #[test]
+    fn sparse_st_congestion_is_bit_identical_to_dense() {
+        let g = diamond();
+        let mut t = path_tree(&g);
+        t.set_parent_capacity(NodeId(2), 0.37);
+        for (s, tt, amount) in [
+            (NodeId(0), NodeId(3), 1.0),
+            (NodeId(3), NodeId(0), 2.5),
+            (NodeId(1), NodeId(2), -0.75),
+            (NodeId(2), NodeId(2), 1.0),
+        ] {
+            let dense = t.routing_congestion(&g, &Demand::st(&g, s, tt, amount));
+            let sparse = t.st_routing_congestion(&g, s, tt, amount);
+            assert_eq!(
+                sparse.to_bits(),
+                dense.to_bits(),
+                "({s:?}, {tt:?}, {amount})"
+            );
+        }
+        // The cap = 0 branch must still escalate to infinity.
+        t.set_parent_capacity(NodeId(3), 0.0);
+        let dense = t.routing_congestion(&g, &Demand::st(&g, NodeId(0), NodeId(3), 1.0));
+        let sparse = t.st_routing_congestion(&g, NodeId(0), NodeId(3), 1.0);
+        assert!(dense.is_infinite() && sparse.is_infinite());
     }
 
     #[test]

@@ -145,9 +145,11 @@ proptest! {
                     );
                 }
             }
-            // The parallel batch entry point must fall back to the
-            // sequential order under warm starts (answers depend on it) —
-            // fresh sessions on both sides so only the entry point differs.
+            // The parallel batch entry point runs warm batches through the
+            // same wave schedule as the sequential one (waves are barriers,
+            // so every warm flow is ready regardless of worker scheduling)
+            // and must agree bit for bit — fresh sessions on both sides so
+            // only the entry point differs.
             let par_cfg = cfg.clone().with_parallelism(Parallelism::with_threads(4));
             let mut par_session =
                 PreparedMaxFlow::prepare(&inst.graph, &par_cfg).expect("connected");

@@ -108,8 +108,20 @@ struct Report {
     mean_ns: u128,
     max_ns: u128,
     samples: usize,
+    /// All timed samples, ascending — kept for the percentile fields.
+    sorted_ns: Vec<u128>,
     throughput: Option<Throughput>,
     threads: Option<usize>,
+}
+
+/// Nearest-rank percentile (`ceil(q·n)`-th smallest) of an ascending sample
+/// list. The conventional definition for tiny sample counts: no
+/// interpolation, always an actually-observed value.
+fn nearest_rank(sorted: &[u128], q: f64) -> u128 {
+    let n = sorted.len();
+    debug_assert!(n > 0);
+    let rank = (q * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 impl Report {
@@ -127,6 +139,30 @@ impl Report {
         (
             format!(",\"throughput_{label}\":{amount},\"{label}_per_sec\":{per_sec:.3}"),
             format!("  {per_sec:.1} {label}/s"),
+        )
+    }
+
+    /// `(json_fields, human_suffix)` for the per-element latency percentiles
+    /// of throughput groups: `p50_ns` / `p99_ns` are the nearest-rank 50th /
+    /// 99th percentile **sample**, divided by the per-iteration element (or
+    /// byte) count — the tail latency a single element experienced, which a
+    /// mean-based rate hides. Empty for groups without a throughput.
+    fn latency_rendering(&self) -> (String, String) {
+        let Some(throughput) = self.throughput else {
+            return (String::new(), String::new());
+        };
+        let (label, amount) = match throughput {
+            Throughput::Elements(n) => ("element", n),
+            Throughput::Bytes(n) => ("byte", n),
+        };
+        if self.sorted_ns.is_empty() || amount == 0 {
+            return (String::new(), String::new());
+        }
+        let p50 = nearest_rank(&self.sorted_ns, 0.50) as f64 / amount as f64;
+        let p99 = nearest_rank(&self.sorted_ns, 0.99) as f64 / amount as f64;
+        (
+            format!(",\"p50_ns\":{p50:.3},\"p99_ns\":{p99:.3}"),
+            format!("  p50 {p50:.0} ns/{label}  p99 {p99:.0} ns/{label}"),
         )
     }
 
@@ -149,9 +185,10 @@ impl Report {
 
 fn emit(report: &Report) {
     let (json_throughput, human_throughput) = report.throughput_rendering();
+    let (json_latency, human_latency) = report.latency_rendering();
     let (json_threads, human_threads) = report.threads_rendering();
     println!(
-        "bench {group}/{id:<40} min {min} ns  mean {mean} ns  max {max} ns  ({n} samples){tp}{th}",
+        "bench {group}/{id:<40} min {min} ns  mean {mean} ns  max {max} ns  ({n} samples){tp}{lat}{th}",
         group = report.group,
         id = report.id,
         min = report.min_ns,
@@ -159,6 +196,7 @@ fn emit(report: &Report) {
         max = report.max_ns,
         n = report.samples,
         tp = human_throughput,
+        lat = human_latency,
         th = human_threads,
     );
     if let Some(path) = std::env::var_os("BENCH_JSON") {
@@ -169,9 +207,9 @@ fn emit(report: &Report) {
         {
             let _ = writeln!(
                 f,
-                "{{\"group\":\"{}\",\"id\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{}{}{}}}",
+                "{{\"group\":\"{}\",\"id\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"samples\":{}{}{}{}}}",
                 report.group, report.id, report.min_ns, report.mean_ns, report.max_ns, report.samples,
-                json_throughput, json_threads,
+                json_throughput, json_latency, json_threads,
             );
         }
     }
@@ -260,13 +298,16 @@ impl BenchmarkGroup<'_> {
             return;
         }
         let n = bencher.samples_ns.len();
+        let mut sorted_ns = bencher.samples_ns.clone();
+        sorted_ns.sort_unstable();
         emit(&Report {
             group: self.name.clone(),
             id: id.id.clone(),
-            min_ns: *bencher.samples_ns.iter().min().expect("non-empty"),
-            mean_ns: bencher.samples_ns.iter().sum::<u128>() / n as u128,
-            max_ns: *bencher.samples_ns.iter().max().expect("non-empty"),
+            min_ns: sorted_ns[0],
+            mean_ns: sorted_ns.iter().sum::<u128>() / n as u128,
+            max_ns: sorted_ns[n - 1],
             samples: n,
+            sorted_ns,
             throughput: self.throughput,
             threads: self.threads,
         });
@@ -356,6 +397,47 @@ mod tests {
         // Garbage values fall through to the next layer.
         assert_eq!(resolve_samples(Some("nope"), Some("4"), 3), 4);
         assert_eq!(resolve_samples(Some("nope"), Some("bad"), 3), 3);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_pick_observed_samples() {
+        let sorted = [10u128, 20, 30, 40, 50];
+        // ceil(0.5·5) = 3rd smallest; ceil(0.99·5) = 5th smallest.
+        assert_eq!(nearest_rank(&sorted, 0.50), 30);
+        assert_eq!(nearest_rank(&sorted, 0.99), 50);
+        assert_eq!(nearest_rank(&sorted, 1.0), 50);
+        // A single sample is every percentile.
+        assert_eq!(nearest_rank(&[7], 0.50), 7);
+        assert_eq!(nearest_rank(&[7], 0.99), 7);
+        // q = 0 clamps to the smallest observed sample.
+        assert_eq!(nearest_rank(&sorted, 0.0), 10);
+    }
+
+    #[test]
+    fn latency_percentiles_render_per_element() {
+        let report = Report {
+            group: "g".into(),
+            id: "i".into(),
+            min_ns: 100,
+            mean_ns: 200,
+            max_ns: 1000,
+            samples: 4,
+            sorted_ns: vec![100, 200, 300, 1000],
+            throughput: Some(Throughput::Elements(100)),
+            threads: None,
+        };
+        let (json, human) = report.latency_rendering();
+        // p50 = 200 ns / 100 elements = 2 ns; p99 = 1000 / 100 = 10 ns.
+        assert_eq!(json, ",\"p50_ns\":2.000,\"p99_ns\":10.000");
+        assert!(human.contains("p50 2 ns/element"));
+        assert!(human.contains("p99 10 ns/element"));
+
+        // No throughput declared: no percentile fields.
+        let bare = Report {
+            throughput: None,
+            ..report
+        };
+        assert_eq!(bare.latency_rendering(), (String::new(), String::new()));
     }
 
     #[test]

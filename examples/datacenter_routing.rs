@@ -13,7 +13,7 @@
 //! ```
 
 use baselines::dinic;
-use flowgraph::{Graph, NodeId};
+use flowgraph::{Demand, Graph, NodeId};
 use maxflow::{MaxFlowConfig, Parallelism, PreparedMaxFlow};
 
 fn main() {
@@ -112,4 +112,34 @@ fn main() {
         par_batch.len(),
         par_config.parallelism.threads()
     );
+
+    // Multi-commodity traffic matrix: a planner rarely has a single flow —
+    // every rack pair carries some demand at once. `route_many` routes a
+    // whole traffic matrix through the blocked gradient engine (up to 8
+    // commodities share every operator sweep) and reports the worst link
+    // congestion each commodity induces on its own. Here: each host of rack
+    // 0 pushes a fixed offered load to its peer in rack 1, heaviest first.
+    let matrix: Vec<Demand> = (0..hosts_per_rack)
+        .map(|i| {
+            let offered = 8.0 - i as f64; // Gb/s, heaviest commodity first
+            Demand::st(&g, host(0, i), host(1, i), offered)
+        })
+        .collect();
+    let routed = session.route_many(&matrix).expect("valid demands");
+    println!(
+        "traffic matrix              : {} commodities routed in one blocked pass",
+        routed.len()
+    );
+    for (i, r) in routed.iter().enumerate() {
+        println!(
+            "  commodity {i}: {:.1} Gb/s offered, worst link at {:.0}% of capacity",
+            8.0 - i as f64,
+            100.0 * r.congestion
+        );
+    }
+    // Every commodity is answered exactly as if it had been routed alone —
+    // lanes only amortize memory traffic, they never interact numerically.
+    let alone = session.route(&matrix[0]).expect("valid demand");
+    assert_eq!(alone.congestion.to_bits(), routed[0].congestion.to_bits());
+    println!("lane isolation              : commodity 0 is bit-identical to routing it alone");
 }
