@@ -26,12 +26,43 @@ use crate::solver::MaxFlowConfig;
 impl MaxFlowConfig {
     /// Serializes the config to a JSON object string. The
     /// `#[serde(skip)]`-annotated `parallelism` field is omitted, matching
-    /// the derive contract. Non-finite floats serialize as `null` (the same
-    /// choice `serde_json` makes), so the output is always valid JSON — but
-    /// such a document will not parse back into a required float field:
-    /// [`MaxFlowConfig::validate`] configs before persisting them.
-    pub fn to_json(&self) -> String {
-        format!(
+    /// the derive contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidConfig`] naming the offending field if
+    /// any float in the config is NaN or infinite. Such values have no JSON
+    /// representation — an earlier revision emitted `null` for them (the
+    /// `serde_json` convention), which produced a *valid* document that
+    /// [`MaxFlowConfig::from_json`] then rejected for the required float
+    /// fields. Refusing to emit up front keeps the round-trip guarantee
+    /// unconditional: every document `to_json` returns parses back.
+    pub fn to_json(&self) -> Result<String, GraphError> {
+        let finite = |parameter: &'static str, x: f64| -> Result<(), GraphError> {
+            if x.is_finite() {
+                Ok(())
+            } else {
+                Err(GraphError::InvalidConfig {
+                    parameter,
+                    reason: "is not finite: NaN/infinite floats have no JSON representation \
+                             and would emit a document from_json rejects",
+                })
+            }
+        };
+        finite("epsilon", self.epsilon)?;
+        finite("racke.mwu_step", self.racke.mwu_step)?;
+        finite("racke.lowstretch_z", self.racke.lowstretch_z)?;
+        if let Some(q) = self.racke.target_quality {
+            finite("racke.target_quality", q)?;
+        }
+        if let Some(a) = self.alpha {
+            finite("alpha", a)?;
+        }
+        if let Some(h) = &self.hierarchy {
+            finite("hierarchy.beta", h.beta)?;
+            finite("hierarchy.sparsify_epsilon", h.sparsify_epsilon)?;
+        }
+        Ok(format!(
             "{{\"epsilon\":{},\"racke\":{{\"num_trees\":{},\"mwu_step\":{},\"seed\":{},\
              \"lowstretch_z\":{},\"target_quality\":{}}},\"alpha\":{},\
              \"max_iterations_per_phase\":{},\"phases\":{},\"warm_start\":{},\
@@ -49,7 +80,7 @@ impl MaxFlowConfig {
             opt_usize(self.phases),
             self.warm_start,
             hierarchy_json(self.hierarchy.as_ref()),
-        )
+        ))
     }
 
     /// Parses a config previously written by [`MaxFlowConfig::to_json`] (or
@@ -169,15 +200,12 @@ fn opt_usize(v: Option<usize>) -> String {
     v.map_or_else(|| "null".to_string(), |x| x.to_string())
 }
 
-/// JSON rendering of an `f64`: `{:?}` round-trips finite values exactly;
-/// NaN and the infinities have no JSON representation and become `null`
-/// (matching `serde_json`), keeping the document parseable by any consumer.
+/// JSON rendering of an `f64`: `{:?}` round-trips finite values exactly.
+/// Non-finite values never reach this point — [`MaxFlowConfig::to_json`]
+/// rejects them up front so every emitted document round-trips.
 fn json_f64(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:?}")
-    } else {
-        "null".to_string()
-    }
+    debug_assert!(x.is_finite(), "to_json validated all floats");
+    format!("{x:?}")
 }
 
 const MALFORMED: GraphError = GraphError::InvalidConfig {

@@ -253,10 +253,10 @@ impl DistributedPlan {
 
 impl<'g> PreparedMaxFlow<'g> {
     fn ensure_plan(&mut self) -> &DistributedPlan {
-        if self.plan.is_none() {
-            self.plan = Some(DistributedPlan::build(self));
+        if self.parts.plan.is_none() {
+            self.parts.plan = Some(DistributedPlan::build(self));
         }
-        self.plan.as_ref().expect("plan was just built")
+        self.parts.plan.as_ref().expect("plan was just built")
     }
 
     /// The amortized CONGEST bill of this session: construction costs charged
@@ -371,7 +371,7 @@ impl<'g> PreparedMaxFlow<'g> {
         let (num_nodes, num_edges) = (self.graph().num_nodes(), self.graph().num_edges());
         let decomposition_rounds = self.ensemble_stats().decomposition_rounds as u64;
         self.ensure_plan();
-        let plan = self.plan.as_ref().expect("plan was just built");
+        let plan = self.parts.plan.as_ref().expect("plan was just built");
 
         // Re-measure every protocol of the plan on the model's fabric. The
         // cached Lemma 8.2 / 9.1 decomposition handles are reused, so the

@@ -17,7 +17,9 @@
 
 use std::collections::HashMap;
 
-use capprox::{build_tree_ensemble, CongestionApproximator, EnsembleStats};
+use capprox::{
+    build_tree_ensemble, CapacityChange, CapacityUpdateStats, CongestionApproximator, EnsembleStats,
+};
 use flowgraph::{max_weight_spanning_tree, Demand, Graph, GraphError, NodeId, RootedTree};
 use parallel::Parallelism;
 
@@ -91,17 +93,38 @@ const fn block_lanes(n: usize) -> usize {
 #[derive(Debug)]
 pub struct PreparedMaxFlow<'g> {
     graph: &'g Graph,
+    pub(crate) parts: PreparedParts,
+}
+
+/// The owned prepared state of a session, detached from the graph borrow:
+/// everything [`PreparedMaxFlow`] derives from the graph (approximator,
+/// repair tree, scratch pools, warm cache), without the `&Graph` itself.
+///
+/// A [`PreparedMaxFlow`] is exactly `(&Graph, PreparedParts)` — split with
+/// [`PreparedMaxFlow::into_parts`], rejoin with
+/// [`PreparedMaxFlow::from_parts`]. The split is what lets a long-lived
+/// server *own* a mutable graph alongside its prepared state without a
+/// self-referential struct: between requests the server holds
+/// `(Graph, PreparedParts)`; to answer a batch it borrows the graph and
+/// rejoins the parts into a session; to apply capacity updates it mutates
+/// the graph and calls [`Self::refresh_after_capacity_update`].
+///
+/// Round-tripping through `into_parts`/`from_parts` preserves every byte of
+/// session state (scratch warmth, warm-start cache, distributed plan), so
+/// answers are byte-identical to an undisturbed session.
+#[derive(Debug)]
+pub struct PreparedParts {
     config: MaxFlowConfig,
     approximator: CongestionApproximator,
     ensemble_stats: EnsembleStats,
     repair_tree: RootedTree,
     scratch: AlmostRouteScratch,
-    /// Lane-major scratch for the blocked batch entry points
-    /// ([`Self::max_flow_batch`], [`Self::route_many`]), grown lazily and
-    /// reused across batches.
+    /// Lane-major scratch for the blocked batch entry points, grown lazily
+    /// and reused across batches.
     block_scratch: BlockScratch,
-    /// Per-worker blocked scratch buffers for [`Self::par_max_flow_batch`],
-    /// grown lazily to the configured thread count and reused across batches.
+    /// Per-worker blocked scratch buffers for
+    /// [`PreparedMaxFlow::par_max_flow_batch`], grown lazily to the
+    /// configured thread count and reused across batches.
     block_pool: Vec<BlockScratch>,
     /// The last answered query, kept to warm-start the next one when
     /// [`MaxFlowConfig::warm_start`] is enabled (always `None` otherwise).
@@ -109,18 +132,19 @@ pub struct PreparedMaxFlow<'g> {
     pub(crate) plan: Option<DistributedPlan>,
 }
 
-impl<'g> PreparedMaxFlow<'g> {
-    /// Builds the session: validates the graph, constructs the congestion
-    /// approximator (the expensive part) and the maximum-weight spanning tree
-    /// for residual repair, and pre-sizes the per-query scratch buffers.
+impl PreparedParts {
+    /// Builds the prepared state for `graph`: validates the config and the
+    /// graph, constructs the congestion approximator (the expensive part)
+    /// and the maximum-weight spanning tree for residual repair, and
+    /// pre-sizes the per-query scratch buffers.
     ///
     /// # Errors
     ///
     /// Returns [`GraphError::InvalidConfig`] for configurations that could
     /// never produce a meaningful run (see [`MaxFlowConfig::validate`]) and
-    /// [`GraphError::Empty`] / [`GraphError::NotConnected`] for degenerate
-    /// graphs.
-    pub fn prepare(graph: &'g Graph, config: &MaxFlowConfig) -> Result<Self, GraphError> {
+    /// [`GraphError::Empty`] / [`GraphError::NotConnected`] /
+    /// [`GraphError::NoEdges`] for degenerate graphs.
+    pub fn build(graph: &Graph, config: &MaxFlowConfig) -> Result<Self, GraphError> {
         config.validate()?;
         if graph.num_nodes() == 0 {
             return Err(GraphError::Empty);
@@ -152,8 +176,7 @@ impl<'g> PreparedMaxFlow<'g> {
         };
         let repair_tree = max_weight_spanning_tree(graph, NodeId(0))?;
         let scratch = AlmostRouteScratch::for_instance(graph, &approximator);
-        Ok(PreparedMaxFlow {
-            graph,
+        Ok(PreparedParts {
             config: config.clone(),
             approximator,
             ensemble_stats,
@@ -164,6 +187,104 @@ impl<'g> PreparedMaxFlow<'g> {
             warm_cache: None,
             plan: None,
         })
+    }
+
+    /// Node count of the graph these parts were prepared for.
+    pub fn num_nodes(&self) -> usize {
+        self.approximator.num_nodes()
+    }
+
+    /// The solver configuration the parts were built with.
+    pub fn config(&self) -> &MaxFlowConfig {
+        &self.config
+    }
+
+    /// The prepared congestion approximator.
+    pub fn approximator(&self) -> &CongestionApproximator {
+        &self.approximator
+    }
+
+    /// Re-prepares the parts in place after a batch of edge-capacity changes
+    /// on the graph, without rebuilding the tree ensemble: the approximator's
+    /// cut capacities are patched incrementally along the changed edges' tree
+    /// paths ([`CongestionApproximator::update_capacities`] — work
+    /// proportional to the paths, not to the graph), the repair tree is
+    /// re-grown against the new capacities (it is a maximum-*weight*
+    /// spanning tree, so its shape may legitimately change), and
+    /// capacity-dependent caches (warm-start flow, distributed plan) are
+    /// dropped.
+    ///
+    /// `graph` must already hold the new capacities (apply
+    /// [`Graph::set_capacity`] first) and be the same graph the parts were
+    /// prepared for, topologically: same nodes, same edges, only capacities
+    /// changed.
+    ///
+    /// After a successful refresh, queries through a rejoined
+    /// [`PreparedMaxFlow`] answer byte-identically to a session freshly
+    /// prepared from an ensemble with the *same tree topologies* at the new
+    /// capacities — but **not** necessarily to a full
+    /// [`PreparedMaxFlow::prepare`], which re-samples the ensemble and may
+    /// draw different trees. Both are valid `(1+ε)` certificates; the
+    /// equivalence suites pin the former.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CongestionApproximator::update_capacities`] errors, after
+    /// which the parts may be partially patched and **must be discarded and
+    /// rebuilt** with [`Self::build`] — the caller's full-rebuild fallback.
+    pub fn refresh_after_capacity_update(
+        &mut self,
+        graph: &Graph,
+        changes: &[CapacityChange],
+    ) -> Result<CapacityUpdateStats, GraphError> {
+        let stats = self.approximator.update_capacities(graph, changes)?;
+        self.repair_tree = max_weight_spanning_tree(graph, NodeId(0))?;
+        // Both caches embed flows scaled against the old capacities; a warm
+        // start from a stale flow would change answers, and the distributed
+        // plan's congestion accounting would be wrong.
+        self.warm_cache = None;
+        self.plan = None;
+        Ok(stats)
+    }
+}
+
+impl<'g> PreparedMaxFlow<'g> {
+    /// Builds the session: [`PreparedParts::build`] plus the graph borrow.
+    ///
+    /// # Errors
+    ///
+    /// See [`PreparedParts::build`].
+    pub fn prepare(graph: &'g Graph, config: &MaxFlowConfig) -> Result<Self, GraphError> {
+        Ok(PreparedMaxFlow {
+            graph,
+            parts: PreparedParts::build(graph, config)?,
+        })
+    }
+
+    /// Rejoins owned [`PreparedParts`] with the graph they were prepared for
+    /// (the inverse of [`Self::into_parts`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DemandMismatch`] when `graph`'s node count does
+    /// not match the parts' — the strongest structural check available
+    /// without storing a full graph fingerprint; pairing parts with the
+    /// wrong same-sized graph is on the caller (a server keys parts by graph
+    /// fingerprint for exactly this reason).
+    pub fn from_parts(graph: &'g Graph, parts: PreparedParts) -> Result<Self, GraphError> {
+        if parts.num_nodes() != graph.num_nodes() {
+            return Err(GraphError::DemandMismatch {
+                expected: parts.num_nodes(),
+                actual: graph.num_nodes(),
+            });
+        }
+        Ok(PreparedMaxFlow { graph, parts })
+    }
+
+    /// Releases the graph borrow and returns the owned prepared state,
+    /// preserving every byte of it (scratch warmth, warm cache, plan).
+    pub fn into_parts(self) -> PreparedParts {
+        self.parts
     }
 
     /// Computes a `(1+ε)`-approximate maximum s–t flow using the prepared
@@ -180,13 +301,13 @@ impl<'g> PreparedMaxFlow<'g> {
     pub fn max_flow(&mut self, s: NodeId, t: NodeId) -> Result<MaxFlowResult, GraphError> {
         max_flow_engine(
             self.graph,
-            &self.approximator,
-            &self.repair_tree,
+            &self.parts.approximator,
+            &self.parts.repair_tree,
             s,
             t,
-            &self.config,
-            &mut self.scratch,
-            Some(&mut self.warm_cache),
+            &self.parts.config,
+            &mut self.parts.scratch,
+            Some(&mut self.parts.warm_cache),
         )
     }
 
@@ -246,7 +367,7 @@ impl<'g> PreparedMaxFlow<'g> {
         pairs: &[(NodeId, NodeId)],
     ) -> Result<Vec<MaxFlowResult>, GraphError> {
         let blocks = pairs.len().div_ceil(block_lanes(self.graph.num_nodes()));
-        let workers = self.config.parallelism.threads().min(blocks.max(1));
+        let workers = self.parts.config.parallelism.threads().min(blocks.max(1));
         self.blocked_batch(pairs, workers)
     }
 
@@ -293,11 +414,11 @@ impl<'g> PreparedMaxFlow<'g> {
             let warms = vec![None; chunk.len()];
             results.extend(route_demand_block_engine(
                 self.graph,
-                &self.approximator,
-                &self.repair_tree,
+                &self.parts.approximator,
+                &self.parts.repair_tree,
                 &refs,
-                &self.config,
-                &mut self.block_scratch,
+                &self.parts.config,
+                &mut self.parts.block_scratch,
                 &warms,
             )?);
         }
@@ -335,7 +456,7 @@ impl<'g> PreparedMaxFlow<'g> {
         let mut occurrence = vec![0usize; pairs.len()];
         let mut store = vec![false; pairs.len()];
         let mut num_waves = 1usize;
-        if self.config.warm_start {
+        if self.parts.config.warm_start {
             let mut chains: HashMap<(NodeId, NodeId), Vec<usize>> = HashMap::new();
             for (i, &(s, t)) in pairs.iter().enumerate() {
                 chains.entry(key_of(s, t)).or_default().push(i);
@@ -387,11 +508,11 @@ impl<'g> PreparedMaxFlow<'g> {
                 for (bi, (block, block_pairs, warm_in, block_store)) in blocks.iter().enumerate() {
                     let (results, warm_out) = max_flow_block_engine(
                         self.graph,
-                        &self.approximator,
-                        &self.repair_tree,
+                        &self.parts.approximator,
+                        &self.parts.repair_tree,
                         block_pairs,
-                        &self.config,
-                        &mut self.block_scratch,
+                        &self.parts.config,
+                        &mut self.parts.block_scratch,
                         warm_in,
                         block_store,
                     )?;
@@ -406,18 +527,20 @@ impl<'g> PreparedMaxFlow<'g> {
                 }
             } else {
                 let worker_config = self
+                    .parts
                     .config
                     .clone()
                     .with_parallelism(Parallelism::sequential());
-                while self.block_pool.len() < workers {
-                    self.block_pool.push(BlockScratch::default());
+                while self.parts.block_pool.len() < workers {
+                    self.parts.block_pool.push(BlockScratch::default());
                 }
                 let graph = self.graph;
-                let approximator = &self.approximator;
-                let repair_tree = &self.repair_tree;
+                let approximator = &self.parts.approximator;
+                let repair_tree = &self.parts.repair_tree;
                 let blocks = &blocks;
                 type WorkerStripe = Result<Vec<(usize, BlockAnswers)>, (usize, GraphError)>;
-                let tasks: Vec<&mut BlockScratch> = self.block_pool[..workers].iter_mut().collect();
+                let tasks: Vec<&mut BlockScratch> =
+                    self.parts.block_pool[..workers].iter_mut().collect();
                 let partials: Vec<WorkerStripe> = parallel::join_workers(tasks, |w, scratch| {
                     let mut mine = Vec::with_capacity(blocks.len().div_ceil(workers));
                     for (bi, (block, block_pairs, warm_in, block_store)) in
@@ -454,7 +577,13 @@ impl<'g> PreparedMaxFlow<'g> {
                     return Err(err.clone());
                 }
                 for partial in partials {
-                    answered.extend(partial.expect("errors handled above"));
+                    // The error scan above returned on any Err stripe; a
+                    // stripe that still fails here is a bookkeeping bug,
+                    // reported as a typed error so a daemon worker thread
+                    // fails the request instead of aborting the process.
+                    answered.extend(partial.map_err(|_| GraphError::Internal {
+                        invariant: "parallel batch stripe failed after the error scan",
+                    })?);
                 }
             }
 
@@ -477,10 +606,17 @@ impl<'g> PreparedMaxFlow<'g> {
                 }
             }
         }
-        Ok(out
-            .into_iter()
-            .map(|r| r.expect("every query index was answered"))
-            .collect())
+        // Every wave assigns each of its lane indices to exactly one block,
+        // so every slot must be filled; an unanswered slot is a wave/block
+        // partitioning bug, surfaced as a typed error (never a panic — see
+        // above).
+        out.into_iter()
+            .map(|r| {
+                r.ok_or(GraphError::Internal {
+                    invariant: "batch left a query unanswered",
+                })
+            })
+            .collect()
     }
 
     /// Routes an arbitrary balanced demand vector with near-optimal
@@ -494,11 +630,11 @@ impl<'g> PreparedMaxFlow<'g> {
     pub fn route(&mut self, b: &Demand) -> Result<RoutingResult, GraphError> {
         route_demand_engine(
             self.graph,
-            &self.approximator,
-            &self.repair_tree,
+            &self.parts.approximator,
+            &self.parts.repair_tree,
             b,
-            &self.config,
-            &mut self.scratch,
+            &self.parts.config,
+            &mut self.parts.scratch,
             None,
         )
     }
@@ -510,22 +646,22 @@ impl<'g> PreparedMaxFlow<'g> {
 
     /// The session's solver configuration.
     pub fn config(&self) -> &MaxFlowConfig {
-        &self.config
+        &self.parts.config
     }
 
     /// The prepared congestion approximator.
     pub fn approximator(&self) -> &CongestionApproximator {
-        &self.approximator
+        &self.parts.approximator
     }
 
     /// Construction statistics of the underlying tree ensemble.
     pub fn ensemble_stats(&self) -> &EnsembleStats {
-        &self.ensemble_stats
+        &self.parts.ensemble_stats
     }
 
     /// The maximum-weight spanning tree used for residual repair.
     pub fn repair_tree(&self) -> &RootedTree {
-        &self.repair_tree
+        &self.parts.repair_tree
     }
 }
 
@@ -642,6 +778,148 @@ mod tests {
             session.par_max_flow_batch(&pairs),
             Err(GraphError::NodeOutOfRange { node: 99, .. })
         ));
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_session_state_bitwise() {
+        // into_parts/from_parts is the daemon's steady-state loop; splitting
+        // and rejoining between every query must not perturb a bit, including
+        // under warm starts (the warm cache rides along in the parts).
+        let g = gen::Family::Random.generate(26, 7);
+        let cfg = config().with_warm_start(true);
+        let mut undisturbed = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+        let mut parts = PreparedParts::build(&g, &cfg).unwrap();
+        let queries = [
+            (NodeId(0), NodeId(25)),
+            (NodeId(3), NodeId(17)),
+            (NodeId(0), NodeId(25)), // warm repeat
+        ];
+        for &(s, t) in &queries {
+            let expected = undisturbed.max_flow(s, t).unwrap();
+            let mut session = PreparedMaxFlow::from_parts(&g, parts).unwrap();
+            let got = session.max_flow(s, t).unwrap();
+            parts = session.into_parts();
+            assert_eq!(expected.value.to_bits(), got.value.to_bits());
+            assert_eq!(expected.iterations, got.iterations);
+            assert_eq!(bits(expected.flow.values()), bits(got.flow.values()));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_a_mismatched_graph() {
+        let g = gen::grid(4, 4, 1.0);
+        let parts = PreparedParts::build(&g, &config()).unwrap();
+        let other = gen::grid(3, 3, 1.0);
+        assert!(matches!(
+            PreparedMaxFlow::from_parts(&other, parts),
+            Err(GraphError::DemandMismatch {
+                expected: 16,
+                actual: 9
+            })
+        ));
+    }
+
+    #[test]
+    fn refresh_after_capacity_update_matches_fresh_prepare_on_a_path() {
+        // A path has exactly one spanning tree, so the re-sampled ensemble of
+        // a fresh prepare() and the kept ensemble of the incremental refresh
+        // have identical topologies — and with integer capacities the cut
+        // sums are exact, so the two sessions must answer BITWISE equal.
+        // (General graphs re-sample different trees; the capprox suites pin
+        // the same-topology equivalence there.)
+        let mut g = gen::path(12, 4.0);
+        let mut parts = PreparedParts::build(&g, &config()).unwrap();
+        let e = g.edge_ids().nth(5).unwrap();
+        g.set_capacity(e, 2.0).unwrap();
+        let stats = parts
+            .refresh_after_capacity_update(
+                &g,
+                &[capprox::CapacityChange {
+                    edge: e,
+                    old: 4.0,
+                    new: 2.0,
+                }],
+            )
+            .unwrap();
+        assert!(stats.trees_touched >= 1 && stats.slots_patched >= 1);
+        let mut refreshed = PreparedMaxFlow::from_parts(&g, parts).unwrap();
+        let mut fresh = PreparedMaxFlow::prepare(&g, &config()).unwrap();
+        let a = refreshed.max_flow(NodeId(0), NodeId(11)).unwrap();
+        let b = fresh.max_flow(NodeId(0), NodeId(11)).unwrap();
+        assert_eq!(a.value.to_bits(), b.value.to_bits());
+        assert_eq!(a.upper_bound.to_bits(), b.upper_bound.to_bits());
+        assert_eq!(bits(a.flow.values()), bits(b.flow.values()));
+        // The bottleneck the update created is certified by the bracket.
+        assert!(a.value <= 2.0 + 1e-9 && a.upper_bound >= 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn refresh_rejects_stale_graph_capacities() {
+        // The graph must already hold the new capacities; refresh with a
+        // stale graph is the misuse the typed error (and the daemon's full-
+        // rebuild fallback) exists for.
+        let g = gen::grid(4, 4, 1.0);
+        let mut parts = PreparedParts::build(&g, &config()).unwrap();
+        let e = g.edge_ids().next().unwrap();
+        assert!(matches!(
+            parts.refresh_after_capacity_update(
+                &g,
+                &[capprox::CapacityChange {
+                    edge: e,
+                    old: 1.0,
+                    new: 5.0,
+                }],
+            ),
+            Err(GraphError::InvalidConfig {
+                parameter: "changes",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn partial_answers_are_discarded_and_the_session_survives() {
+        // The partial-answer path: with two workers striping the blocks,
+        // worker 0's blocks (0, 2) complete with real answers while worker
+        // 1's block 1 holds the invalid pair. The completed stripes' partial
+        // answers must be discarded behind a typed error — never a panic and
+        // never a half-filled result vector — and the session must stay
+        // fully usable (warm pool, scratch, and determinism intact).
+        let g = gen::grid(4, 4, 1.0);
+        let cfg = config().with_parallelism(Parallelism::with_threads(2));
+        let mut session = PreparedMaxFlow::prepare(&g, &cfg).unwrap();
+        // block_lanes is 4 at this size: three blocks of four lanes. The
+        // single bad pair lands in block 1 (lane 6).
+        let good = [
+            (NodeId(0), NodeId(15)),
+            (NodeId(3), NodeId(12)),
+            (NodeId(1), NodeId(14)),
+            (NodeId(2), NodeId(13)),
+            (NodeId(4), NodeId(11)),
+            (NodeId(5), NodeId(10)),
+            (NodeId(6), NodeId(9)),
+            (NodeId(7), NodeId(8)),
+            (NodeId(0), NodeId(10)),
+            (NodeId(5), NodeId(15)),
+            (NodeId(3), NodeId(9)),
+            (NodeId(1), NodeId(11)),
+        ];
+        let mut poisoned = good;
+        poisoned[6] = (NodeId(6), NodeId(77)); // out of range, block 1
+        match session.par_max_flow_batch(&poisoned) {
+            Err(GraphError::NodeOutOfRange { node: 77, .. }) => {}
+            other => panic!("expected NodeOutOfRange for node 77, got {other:?}"),
+        }
+        // The failed batch left no residue: the same session answers the
+        // all-valid batch byte-identically to a fresh sequential session.
+        let after = session.par_max_flow_batch(&good).unwrap();
+        let mut fresh = PreparedMaxFlow::prepare(&g, &config()).unwrap();
+        let reference = fresh.max_flow_batch(&good).unwrap();
+        assert_eq!(after.len(), reference.len());
+        for (a, r) in after.iter().zip(&reference) {
+            assert_eq!(a.value.to_bits(), r.value.to_bits());
+            assert_eq!(bits(a.flow.values()), bits(r.flow.values()));
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn sample_config() -> MaxFlowConfig {
 #[test]
 fn round_trip_preserves_every_serialized_field() {
     let config = sample_config();
-    let restored = MaxFlowConfig::from_json(&config.to_json()).unwrap();
+    let restored = MaxFlowConfig::from_json(&config.to_json().unwrap()).unwrap();
     assert_eq!(restored.epsilon.to_bits(), config.epsilon.to_bits());
     assert_eq!(restored.racke.num_trees, config.racke.num_trees);
     assert_eq!(
@@ -62,7 +62,7 @@ fn skipped_parallelism_deserializes_to_the_sequential_default() {
     // without any parallelism key and comes back sequential.
     let config = sample_config();
     assert_eq!(config.parallelism.threads(), 8);
-    let json = config.to_json();
+    let json = config.to_json().unwrap();
     assert!(
         !json.contains("parallelism") && !json.contains("threads"),
         "skipped fields must not be serialized: {json}"
@@ -122,24 +122,37 @@ fn nulls_and_absent_fields_restore_defaults() {
 }
 
 #[test]
-fn non_finite_floats_serialize_as_valid_json() {
-    // serde_json parity: NaN / infinities have no JSON representation and
-    // become null, so the document stays consumable by any JSON parser —
-    // and refuses to round-trip into a required float field rather than
-    // resurrecting a NaN config.
+fn non_finite_floats_are_rejected_at_serialization_time() {
+    // Regression (documented asymmetry, since fixed): `to_json` used to emit
+    // `null` for non-finite floats — a *valid* JSON document that
+    // `from_json` then rejected for required float fields (and silently
+    // turned `Some(NaN)` alpha into `None`). The round-trip guarantee is now
+    // unconditional: `to_json` refuses non-finite configs up front, naming
+    // the offending field, and every document it does emit parses back.
     for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
-        let json = sample_config().with_epsilon(bad).to_json();
-        assert!(
-            !json.contains("NaN") && !json.contains("inf"),
-            "bare non-finite literal leaked into {json}"
-        );
-        assert!(json.contains("\"epsilon\":null"), "{json}");
-        assert!(MaxFlowConfig::from_json(&json).is_err());
+        match sample_config().with_epsilon(bad).to_json() {
+            Err(GraphError::InvalidConfig { parameter, reason }) => {
+                assert_eq!(parameter, "epsilon");
+                assert!(reason.contains("finite"), "{reason}");
+            }
+            other => panic!("epsilon={bad}: expected InvalidConfig, got {other:?}"),
+        }
     }
-    // A non-finite alpha is an Option: null round-trips to None.
-    let restored =
-        MaxFlowConfig::from_json(&sample_config().with_alpha(Some(f64::NAN)).to_json()).unwrap();
-    assert_eq!(restored.alpha, None);
+    // Optional floats are rejected too — the old behavior resurrected
+    // `Some(NaN)` as `None`, a silent config change.
+    match sample_config().with_alpha(Some(f64::NAN)).to_json() {
+        Err(GraphError::InvalidConfig { parameter, .. }) => assert_eq!(parameter, "alpha"),
+        other => panic!("alpha=NaN: expected InvalidConfig, got {other:?}"),
+    }
+    // The NaN-epsilon config from the issue: validate() and to_json() agree
+    // that it never leaves the process.
+    let nan_eps = sample_config().with_epsilon(f64::NAN);
+    assert!(nan_eps.validate().is_err());
+    assert!(nan_eps.to_json().is_err());
+    // And every *finite* config still round-trips exactly.
+    let json = sample_config().to_json().unwrap();
+    let restored = MaxFlowConfig::from_json(&json).unwrap();
+    assert_eq!(restored.alpha.map(f64::to_bits), Some(3.5f64.to_bits()));
 }
 
 #[test]

@@ -123,6 +123,14 @@ pub enum GraphError {
         /// Why the value was rejected.
         reason: &'static str,
     },
+    /// An internal bookkeeping invariant was violated. This indicates a bug
+    /// in the library, not bad input; it is returned as a typed error (rather
+    /// than panicking) so long-lived serving processes fail the one request
+    /// instead of aborting a worker thread.
+    Internal {
+        /// Which invariant was violated.
+        invariant: &'static str,
+    },
 }
 
 impl std::fmt::Display for GraphError {
@@ -169,6 +177,12 @@ impl std::fmt::Display for GraphError {
             }
             GraphError::InvalidConfig { parameter, reason } => {
                 write!(f, "invalid configuration: {parameter} {reason}")
+            }
+            GraphError::Internal { invariant } => {
+                write!(
+                    f,
+                    "internal invariant violated: {invariant} (library bug — please report)"
+                )
             }
         }
     }

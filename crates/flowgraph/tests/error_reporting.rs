@@ -48,6 +48,12 @@ fn display_cases() -> Vec<(GraphError, Vec<&'static str>)> {
             },
             vec!["epsilon", "finite"],
         ),
+        (
+            GraphError::Internal {
+                invariant: "batch left a query unanswered",
+            },
+            vec!["internal", "batch left a query unanswered", "report"],
+        ),
     ]
 }
 

@@ -1,0 +1,70 @@
+//! The `flowd` daemon binary.
+//!
+//! ```text
+//! flowd [--addr HOST:PORT] [--cache N] [--epsilon X] [--threads N]
+//! ```
+//!
+//! Prints `flowd listening on HOST:PORT` once the socket is bound (scripts
+//! wait for that line), then serves until a client sends `{"op":"shutdown"}`
+//! or the process is killed.
+
+use maxflow::{MaxFlowConfig, Parallelism};
+use service::server::{start, ServerOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: flowd [--addr HOST:PORT] [--cache N] [--epsilon X] [--threads N]\n\
+         \n\
+         --addr HOST:PORT  bind address (default 127.0.0.1:7070; port 0 = ephemeral)\n\
+         --cache N         max prepared sessions kept alive (default 8)\n\
+         --epsilon X       default approximation parameter for load_graph\n\
+         \u{20}                 requests without a config (default {})\n\
+         --threads N       worker threads per coalesced query batch (default 1)",
+        MaxFlowConfig::default().epsilon
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7070".to_string();
+    let mut options = ServerOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("flowd: {flag} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--cache" => match value("--cache").parse::<usize>() {
+                Ok(n) if n > 0 => options.cache_capacity = n,
+                _ => usage(),
+            },
+            "--epsilon" => match value("--epsilon").parse::<f64>() {
+                Ok(x) if x.is_finite() && x > 0.0 => options.default_config.epsilon = x,
+                _ => usage(),
+            },
+            "--threads" => match value("--threads").parse::<usize>() {
+                Ok(n) if n > 0 => options.default_config.parallelism = Parallelism::with_threads(n),
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("flowd: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    let mut handle = match start(&addr, options) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("flowd: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("flowd listening on {}", handle.local_addr());
+    // Joins the accept loop; a wire-level shutdown op ends it.
+    handle.join();
+}

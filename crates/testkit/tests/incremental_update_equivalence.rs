@@ -1,0 +1,183 @@
+//! Equivalence suite for `CongestionApproximator::update_capacities`, the
+//! incremental re-preparation behind `flowd`'s graph-update requests.
+//!
+//! The pinned contract: after a batch of edge-capacity changes, the
+//! incrementally patched approximator is equivalent to **rebuilding the same
+//! tree topologies from scratch** against the updated graph
+//! (`CapacitatedTree::new` per kept tree) — per-cut capacities, relative
+//! loads, and the certified congestion *brackets* (lower/upper bound) all
+//! agree. Bitwise equality is impossible in general — the incremental path
+//! computes `old_sum + delta` while the fresh path re-sums every crossing
+//! edge in LCA-marking order, and float addition is not associative — so the
+//! suite pins a tight relative tolerance instead; the unit tests in
+//! `capprox::approximator` cover the bitwise case with integer capacities.
+//!
+//! The suite also counter-asserts the incremental path actually ran
+//! (`trees_touched`/`slots_patched` from `CapacityUpdateStats`): a silent
+//! full rebuild masquerading as an incremental update would pass any output
+//! check, so the work counters are part of the contract.
+
+use capprox::racke::{CapacitatedTree, EnsembleStats, TreeEnsemble};
+use capprox::{CapacityChange, CongestionApproximator, RackeConfig};
+use flowgraph::{Demand, EdgeId, Graph};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use testkit::families;
+
+/// Relative tolerance for `old_sum + delta` versus re-summation: both are
+/// within a few ulps of the true value for the modest cut sizes of the
+/// oracle families.
+const TOL: f64 = 1e-9;
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= TOL * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Rebuilds the ground truth: the same tree topologies, recapacitated from
+/// scratch against the updated graph.
+fn recapacitated(approx: &CongestionApproximator, g: &Graph) -> CongestionApproximator {
+    let trees: Vec<CapacitatedTree> = approx
+        .trees()
+        .iter()
+        .map(|t| CapacitatedTree::new(g, t.tree.clone()))
+        .collect();
+    let num_trees = trees.len();
+    CongestionApproximator::from_ensemble(TreeEnsemble {
+        trees,
+        stats: EnsembleStats {
+            num_trees,
+            max_rloads: Vec::new(),
+            decomposition_rounds: 0,
+            average_stretches: Vec::new(),
+        },
+    })
+    .expect("kept ensembles are non-empty")
+}
+
+/// Draws `count` distinct edges and new capacities from the instance seed,
+/// applies them to `g`, and returns the change records.
+fn apply_random_changes(g: &mut Graph, seed: u64, count: usize) -> Vec<CapacityChange> {
+    let mut rng = flowgraph::gen::rng(seed);
+    let m = g.num_edges();
+    let mut picked: Vec<usize> = Vec::new();
+    let mut changes = Vec::new();
+    for _ in 0..count.min(m) {
+        let mut e = rand::Rng::gen_range(&mut rng, 0..m);
+        while picked.contains(&e) {
+            e = rand::Rng::gen_range(&mut rng, 0..m);
+        }
+        picked.push(e);
+        let edge = EdgeId(e as u32);
+        let old = g.capacity(edge);
+        let new = rand::Rng::gen_range(&mut rng, 0.25..8.0);
+        g.set_capacity(edge, new).expect("positive finite capacity");
+        changes.push(CapacityChange { edge, old, new });
+    }
+    changes
+}
+
+fn assert_equivalent(
+    inc: &CongestionApproximator,
+    fresh: &CongestionApproximator,
+    g: &Graph,
+    b: &Demand,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    for (ti, (it, ft)) in inc.trees().iter().zip(fresh.trees().iter()).enumerate() {
+        for v in 0..g.num_nodes() {
+            prop_assert!(
+                close(it.cut_capacity[v], ft.cut_capacity[v]),
+                "{context}: tree {ti} node {v} cut {} vs fresh {}",
+                it.cut_capacity[v],
+                ft.cut_capacity[v]
+            );
+            prop_assert!(
+                close(it.rload[v], ft.rload[v]),
+                "{context}: tree {ti} node {v} rload {} vs fresh {}",
+                it.rload[v],
+                ft.rload[v]
+            );
+        }
+    }
+    // The operator path (R·b through the patched slot views) feeds the
+    // brackets the solver certifies against; both ends must agree.
+    let (lo_i, lo_f) = (
+        inc.congestion_lower_bound(b),
+        fresh.congestion_lower_bound(b),
+    );
+    prop_assert!(close(lo_i, lo_f), "{context}: lower {lo_i} vs {lo_f}");
+    let (hi_i, hi_f) = (
+        inc.congestion_upper_bound(g, b),
+        fresh.congestion_upper_bound(g, b),
+    );
+    prop_assert!(close(hi_i, hi_f), "{context}: upper {hi_i} vs {hi_f}");
+    prop_assert!(lo_i <= hi_i * (1.0 + TOL), "{context}: bracket inverted");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Incremental == fresh-recapacitation across every oracle family, for
+    /// random change batches of varying size, including a second chained
+    /// batch on top of the first (updates compose without drift).
+    #[test]
+    fn incremental_update_equals_fresh_recapacitation(
+        n in 12usize..32,
+        seed in 0u64..10_000,
+        batch in 1usize..6,
+    ) {
+        for inst in families::oracle_families(n, seed) {
+            let mut g = inst.graph.clone();
+            let mut approx = CongestionApproximator::build(
+                &g,
+                &RackeConfig::default().with_num_trees(3).with_seed(seed ^ 0x5eed),
+            ).expect("families are connected");
+            let b = Demand::st(&g, inst.s, inst.t, 1.0);
+
+            let changes = apply_random_changes(&mut g, seed ^ 0x11, batch);
+            let stats = approx.update_capacities(&g, &changes).expect("valid changes");
+            prop_assert_eq!(stats.trees_total, 3, "family {}", inst.name);
+            // Every change moves a real capacity, and every edge crosses at
+            // least one tree cut per tree, so all trees get patched.
+            prop_assert_eq!(stats.trees_touched, 3, "family {}", inst.name);
+            prop_assert!(
+                stats.slots_patched >= changes.len() * 3,
+                "family {}: {} slots for {} changes",
+                inst.name, stats.slots_patched, changes.len()
+            );
+            let fresh = recapacitated(&approx, &g);
+            assert_equivalent(&approx, &fresh, &g, &b, inst.name)?;
+
+            // A second batch chained on the already-patched state.
+            let changes2 = apply_random_changes(&mut g, seed ^ 0x22, batch);
+            approx.update_capacities(&g, &changes2).expect("valid changes");
+            let fresh2 = recapacitated(&approx, &g);
+            assert_equivalent(&approx, &fresh2, &g, &b, inst.name)?;
+        }
+    }
+
+    /// Same equivalence through the recursive j-tree hierarchy builder: the
+    /// lifted trees are genuine spanning trees of `g`, so path patching must
+    /// work identically on them.
+    #[test]
+    fn hierarchical_builds_update_incrementally_too(
+        seed in 0u64..10_000,
+        batch in 1usize..4,
+    ) {
+        let inst = &families::oracle_families(25, seed)[1]; // the grid family
+        let mut g = inst.graph.clone();
+        let mut approx = CongestionApproximator::build_hierarchical(
+            &g,
+            &capprox::HierarchyConfig::default().with_direct_threshold(16),
+            &RackeConfig::default().with_num_trees(2).with_seed(seed),
+        ).expect("grid is connected");
+        let b = Demand::st(&g, inst.s, inst.t, 1.0);
+        let changes = apply_random_changes(&mut g, seed ^ 0x33, batch);
+        let stats = approx.update_capacities(&g, &changes).expect("valid changes");
+        prop_assert!(stats.trees_touched >= 1);
+        let fresh = recapacitated(&approx, &g);
+        assert_equivalent(&approx, &fresh, &g, &b, "hierarchical grid")?;
+        prop_assert!(approx.hierarchy_stats().is_some());
+    }
+}
